@@ -1,0 +1,182 @@
+//! The annotated-snippet representation consumed by feature extraction.
+//!
+//! After NER and POS tagging, every token of a snippet carries:
+//! * its surface text,
+//! * its POS tag, and
+//! * optionally the entity span (index + category) covering it.
+//!
+//! Feature abstraction (paper §3.2.2) then decides, per category, whether
+//! to emit the *instance* (the word/entity surface form) or the
+//! *presence* (the bare category tag) into the feature vector.
+
+use crate::entity::{EntityCategory, EntitySpan};
+use crate::pos::PosTag;
+use etap_text::Token;
+
+/// One token of an annotated snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotatedToken {
+    /// Surface form (owned; the snippet outlives its source buffer).
+    pub text: String,
+    /// POS tag (always present, even inside entities).
+    pub pos: PosTag,
+    /// Index into [`AnnotatedSnippet::entities`] when this token is part
+    /// of an entity.
+    pub entity: Option<usize>,
+}
+
+/// A fully annotated snippet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnnotatedSnippet {
+    /// Tokens in document order.
+    pub tokens: Vec<AnnotatedToken>,
+    /// Entity spans in document order (token indices refer to `tokens`).
+    pub entities: Vec<EntitySpan>,
+}
+
+impl AnnotatedSnippet {
+    /// Assemble from tokenizer + NER + POS outputs.
+    ///
+    /// `entities` must be disjoint and ordered (as produced by
+    /// [`crate::NamedEntityRecognizer::recognize`]).
+    #[must_use]
+    pub fn assemble(
+        _source: &str,
+        tokens: &[Token<'_>],
+        entities: Vec<EntitySpan>,
+        pos_tags: &[PosTag],
+    ) -> Self {
+        debug_assert_eq!(tokens.len(), pos_tags.len());
+        let mut entity_of = vec![None; tokens.len()];
+        for (ei, span) in entities.iter().enumerate() {
+            for ti in span.token_range() {
+                entity_of[ti] = Some(ei);
+            }
+        }
+        let toks = tokens
+            .iter()
+            .zip(pos_tags)
+            .zip(entity_of)
+            .map(|((t, &pos), entity)| AnnotatedToken {
+                text: t.text.to_string(),
+                pos,
+                entity,
+            })
+            .collect();
+        Self {
+            tokens: toks,
+            entities,
+        }
+    }
+
+    /// The category of the entity covering token `i`, if any.
+    #[must_use]
+    pub fn entity_category(&self, i: usize) -> Option<EntityCategory> {
+        self.tokens
+            .get(i)
+            .and_then(|t| t.entity)
+            .map(|ei| self.entities[ei].category)
+    }
+
+    /// Entity surface text (tokens joined by a space).
+    #[must_use]
+    pub fn entity_text(&self, ei: usize) -> String {
+        let span = &self.entities[ei];
+        let words: Vec<&str> = span
+            .token_range()
+            .map(|ti| self.tokens[ti].text.as_str())
+            .collect();
+        words.join(" ")
+    }
+
+    /// Does the snippet contain at least one entity of `cat`?
+    #[must_use]
+    pub fn contains_category(&self, cat: EntityCategory) -> bool {
+        self.entities.iter().any(|e| e.category == cat)
+    }
+
+    /// Count entities of `cat`.
+    #[must_use]
+    pub fn count_category(&self, cat: EntityCategory) -> usize {
+        self.entities.iter().filter(|e| e.category == cat).count()
+    }
+
+    /// Render the snippet with entity tags substituted in, e.g.
+    /// `"ORG acquired ORG for CURRENCY"`. This is the fully-abstracted
+    /// view; feature extraction uses a finer per-category policy.
+    #[must_use]
+    pub fn abstracted_text(&self) -> String {
+        let mut out = String::new();
+        let mut i = 0;
+        while i < self.tokens.len() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if let Some(ei) = self.tokens[i].entity {
+                out.push_str(self.entities[ei].category.tag());
+                i = self.entities[ei].first_token + self.entities[ei].token_len;
+            } else {
+                out.push_str(&self.tokens[i].text);
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NamedEntityRecognizer, PosTagger};
+    use etap_text::tokenize;
+
+    fn annotate(text: &str) -> AnnotatedSnippet {
+        let toks = tokenize(text);
+        let ents = NamedEntityRecognizer::new().recognize(&toks);
+        let tags = PosTagger::new().tag(&toks);
+        AnnotatedSnippet::assemble(text, &toks, ents, &tags)
+    }
+
+    #[test]
+    fn token_entity_links() {
+        let s = annotate("IBM acquired Daksh for $160 million.");
+        let ibm = &s.tokens[0];
+        assert_eq!(ibm.text, "IBM");
+        assert!(ibm.entity.is_some());
+        assert_eq!(s.entity_category(0), Some(EntityCategory::Org));
+        // "acquired" is uncovered.
+        assert_eq!(s.tokens[1].entity, None);
+    }
+
+    #[test]
+    fn abstracted_text_substitutes_tags() {
+        let s = annotate("IBM acquired Daksh for $160 million in 2004.");
+        let a = s.abstracted_text();
+        assert!(a.starts_with("ORG acquired ORG for CURRENCY"), "{a}");
+        assert!(a.contains("YEAR"), "{a}");
+    }
+
+    #[test]
+    fn entity_text_joins_tokens() {
+        let s = annotate("Bank of America gained.");
+        let ei = s.tokens[0].entity.expect("entity");
+        assert_eq!(s.entity_text(ei), "Bank of America");
+    }
+
+    #[test]
+    fn contains_and_count() {
+        let s = annotate("IBM and Oracle both rose 5 % on Monday.");
+        assert!(s.contains_category(EntityCategory::Org));
+        assert_eq!(s.count_category(EntityCategory::Org), 2);
+        assert_eq!(s.count_category(EntityCategory::Prcnt), 1);
+        assert!(!s.contains_category(EntityCategory::Currency));
+    }
+
+    #[test]
+    fn empty_snippet() {
+        let s = annotate("");
+        assert!(s.tokens.is_empty());
+        assert!(s.entities.is_empty());
+        assert_eq!(s.abstracted_text(), "");
+    }
+}

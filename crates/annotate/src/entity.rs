@@ -1,0 +1,185 @@
+//! Entity categories and spans.
+//!
+//! The 13 categories are exactly those of the paper's NER (§3.2.1):
+//! "(1) ORG (organization name), (2) DESIG (designation), (3) OBJ
+//! (object name), (4) TIM (time), (5) PERIOD (months, days, date, etc),
+//! (6) CURRENCY (currency measure), (7) YEAR (sole mention of a year),
+//! (8) PRCNT (percentage figure), (9) PROD (product name), (10) PLC
+//! (name of a place), (11) PRSN (person name), (12) LNGTH (all units of
+//! measurement other than currency), and (13) CNT (count figures)."
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The paper's 13 named-entity categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityCategory {
+    /// Organization name (`IBM`, `Acme Corp.`).
+    Org,
+    /// Designation / job title (`CEO`, `Vice President`).
+    Desig,
+    /// Object name (named artifacts that are neither products nor
+    /// organizations, e.g. `Boeing 747`, `Hubble Telescope`).
+    Obj,
+    /// Time of day (`4 p.m.`, `09:30`).
+    Tim,
+    /// Date-like period (`April 12`, `Monday`, `fourth quarter`).
+    Period,
+    /// Currency measure (`$ 160 million`, `Rs 5 crore`).
+    Currency,
+    /// Sole mention of a year (`1996`, `2004`).
+    Year,
+    /// Percentage figure (`10 %`, `5.3 percent`).
+    Prcnt,
+    /// Product name (`ThinkPad`, `WebSphere`).
+    Prod,
+    /// Place name (`Bangalore`, `New Zealand`).
+    Plc,
+    /// Person name (`Sam Palmisano`, `Mr. Andersen`).
+    Prsn,
+    /// Measurement unit other than currency (`5 km`, `3 gigabytes`).
+    Lngth,
+    /// Count figure (`5,000 employees`, `three subsidiaries`).
+    Cnt,
+}
+
+impl EntityCategory {
+    /// All 13 categories, in the paper's order.
+    pub const ALL: [EntityCategory; 13] = [
+        EntityCategory::Org,
+        EntityCategory::Desig,
+        EntityCategory::Obj,
+        EntityCategory::Tim,
+        EntityCategory::Period,
+        EntityCategory::Currency,
+        EntityCategory::Year,
+        EntityCategory::Prcnt,
+        EntityCategory::Prod,
+        EntityCategory::Plc,
+        EntityCategory::Prsn,
+        EntityCategory::Lngth,
+        EntityCategory::Cnt,
+    ];
+
+    /// Canonical capitalised tag name, as used in feature abstraction
+    /// ("all named entity category names are capitalized" in Figures 3
+    /// and 4 of the paper).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            EntityCategory::Org => "ORG",
+            EntityCategory::Desig => "DESIG",
+            EntityCategory::Obj => "OBJ",
+            EntityCategory::Tim => "TIM",
+            EntityCategory::Period => "PERIOD",
+            EntityCategory::Currency => "CURRENCY",
+            EntityCategory::Year => "YEAR",
+            EntityCategory::Prcnt => "PRCNT",
+            EntityCategory::Prod => "PROD",
+            EntityCategory::Plc => "PLC",
+            EntityCategory::Prsn => "PRSN",
+            EntityCategory::Lngth => "LNGTH",
+            EntityCategory::Cnt => "CNT",
+        }
+    }
+}
+
+impl fmt::Display for EntityCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl FromStr for EntityCategory {
+    type Err = UnknownCategory;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EntityCategory::ALL
+            .iter()
+            .copied()
+            .find(|c| c.tag() == s)
+            .ok_or_else(|| UnknownCategory(s.to_string()))
+    }
+}
+
+/// Error returned when parsing an unknown entity-category tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCategory(pub String);
+
+impl fmt::Display for UnknownCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown entity category: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownCategory {}
+
+/// A recognized entity: a contiguous run of tokens with a category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntitySpan {
+    /// Category assigned by the recognizer.
+    pub category: EntityCategory,
+    /// Index of the first token of the entity in the token stream.
+    pub first_token: usize,
+    /// Number of tokens covered.
+    pub token_len: usize,
+    /// Byte offset of the entity start in the source text.
+    pub start: usize,
+    /// Byte offset one past the entity end in the source text.
+    pub end: usize,
+}
+
+impl EntitySpan {
+    /// Token index range covered by this span.
+    #[must_use]
+    pub fn token_range(&self) -> std::ops::Range<usize> {
+        self.first_token..self.first_token + self.token_len
+    }
+
+    /// Slice the surface text of this entity from the source document.
+    #[must_use]
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_categories() {
+        assert_eq!(EntityCategory::ALL.len(), 13);
+    }
+
+    #[test]
+    fn tags_are_unique_and_uppercase() {
+        let mut tags: Vec<&str> = EntityCategory::ALL.iter().map(|c| c.tag()).collect();
+        for t in &tags {
+            assert_eq!(*t, t.to_uppercase());
+        }
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 13);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in EntityCategory::ALL {
+            assert_eq!(c.tag().parse::<EntityCategory>().unwrap(), c);
+        }
+        assert!("BOGUS".parse::<EntityCategory>().is_err());
+    }
+
+    #[test]
+    fn span_token_range() {
+        let span = EntitySpan {
+            category: EntityCategory::Org,
+            first_token: 2,
+            token_len: 3,
+            start: 10,
+            end: 25,
+        };
+        assert_eq!(span.token_range(), 2..5);
+    }
+}

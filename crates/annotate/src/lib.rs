@@ -1,0 +1,107 @@
+//! # etap-annotate — linguistic annotation for the ETAP reproduction
+//!
+//! ETAP (§3.2) annotates every snippet before classification:
+//!
+//! 1. a **named-entity recognizer** assigns one of 13 entity categories
+//!    (ORG, DESIG, OBJ, TIM, PERIOD, CURRENCY, YEAR, PRCNT, PROD, PLC,
+//!    PRSN, LNGTH, CNT) to entity mentions, and
+//! 2. any token *not* covered by an entity is assigned a
+//!    **part-of-speech** category ("was assigned a part-of-speech
+//!    category as determined by QTag").
+//!
+//! The paper used IBM's proprietary NER and the QTag tagger; this crate
+//! provides from-scratch stand-ins with the same observable interface:
+//! gazetteer + token-pattern NER and a lexicon + suffix-rule POS tagger.
+//! Both are deliberately *imperfect in realistic ways* (unknown company
+//! names, ambiguous capitalised words) — the paper itself notes that
+//! "the overall result of ETAP is heavily dependent on the accuracy of
+//! the named entity recognizer".
+//!
+//! The main entry point is [`Annotator::annotate`], which produces an
+//! [`AnnotatedSnippet`]: the token stream with, for every token, its
+//! POS tag and (when applicable) the entity span it belongs to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotated;
+pub mod entity;
+pub mod gazetteer;
+pub mod ner;
+pub mod pos;
+
+pub use annotated::{AnnotatedSnippet, AnnotatedToken};
+pub use entity::{EntityCategory, EntitySpan};
+pub use ner::NamedEntityRecognizer;
+pub use pos::{PosTag, PosTagger};
+
+/// Full annotator: NER + POS in one pass.
+#[derive(Debug, Default, Clone)]
+pub struct Annotator {
+    ner: NamedEntityRecognizer,
+    pos: PosTagger,
+}
+
+impl Annotator {
+    /// Create an annotator with the default gazetteers and lexicon.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an annotator wrapping custom components.
+    #[must_use]
+    pub fn with_components(ner: NamedEntityRecognizer, pos: PosTagger) -> Self {
+        Self { ner, pos }
+    }
+
+    /// Annotate a snippet: tokenize, find entity spans, tag the rest.
+    #[must_use]
+    pub fn annotate(&self, text: &str) -> AnnotatedSnippet {
+        let tokens = etap_text::tokenize(text);
+        let entities = self.ner.recognize(&tokens);
+        let pos_tags = self.pos.tag(&tokens);
+        AnnotatedSnippet::assemble(text, &tokens, entities, &pos_tags)
+    }
+
+    /// Access the underlying NER (e.g. to extend gazetteers).
+    #[must_use]
+    pub fn ner(&self) -> &NamedEntityRecognizer {
+        &self.ner
+    }
+
+    /// Mutable access to the underlying NER.
+    pub fn ner_mut(&mut self) -> &mut NamedEntityRecognizer {
+        &mut self.ner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_annotation() {
+        let ann = Annotator::new();
+        let snip = ann.annotate("IBM acquired Daksh for $160 million in April 2004.");
+        // ORG, CURRENCY and PERIOD should all be present ("April 2004"
+        // is one PERIOD span that absorbs the year).
+        let cats: Vec<EntityCategory> = snip.entities.iter().map(|e| e.category).collect();
+        assert!(cats.contains(&EntityCategory::Org), "{cats:?}");
+        assert!(cats.contains(&EntityCategory::Currency), "{cats:?}");
+        assert!(cats.contains(&EntityCategory::Period), "{cats:?}");
+    }
+
+    #[test]
+    fn tokens_outside_entities_have_pos_tags() {
+        let ann = Annotator::new();
+        let snip = ann.annotate("IBM acquired Daksh.");
+        let acquired = snip
+            .tokens
+            .iter()
+            .find(|t| t.text == "acquired")
+            .expect("token present");
+        assert_eq!(acquired.entity, None);
+        assert_eq!(acquired.pos, PosTag::Vb);
+    }
+}

@@ -1,0 +1,979 @@
+//! Named-entity recognition.
+//!
+//! A rule + gazetteer recognizer that emits the paper's 13 entity
+//! categories over a token stream. The matcher scans left to right; at
+//! every position it collects candidate matches from all rules and keeps
+//! the *longest* one (ties broken by rule priority), then jumps past it —
+//! the standard longest-match span-resolution strategy.
+//!
+//! Rule inventory (priority order within equal lengths):
+//!
+//! | rule | category |
+//! |------|----------|
+//! | currency symbol/word + figure (+ scale word) | CURRENCY |
+//! | figure + `%` / `percent` | PRCNT |
+//! | figure + `a.m.`/`p.m.` or `HH:MM` | TIM |
+//! | month (+ day) (+ year), weekday, ordinal + `quarter` | PERIOD |
+//! | bare 19xx/20xx figure | YEAR |
+//! | figure + measurement unit | LNGTH |
+//! | figure + plural noun, spelled-out numbers | CNT |
+//! | honorific + capitalised run, given-name + surname | PRSN |
+//! | org gazetteer, capitalised run + org suffix | ORG |
+//! | designation lexicon (case-insensitive) | DESIG |
+//! | place gazetteer | PLC |
+//! | product gazetteer | PROD |
+//! | object gazetteer | OBJ |
+//!
+//! Unknown capitalised words that match no rule are deliberately left
+//! unannotated (they surface as `np` POS tokens downstream) — this is the
+//! realistic imperfection the paper's §6 discusses.
+
+use crate::entity::{EntityCategory, EntitySpan};
+use crate::gazetteer::{self, Gazetteer};
+use etap_text::{tokenize, Token, TokenKind};
+
+/// A candidate match produced by one rule at one position.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    category: EntityCategory,
+    token_len: usize,
+    /// Lower value wins among equal lengths.
+    priority: u8,
+}
+
+/// Gazetteer- and rule-based NER for the 13 ETAP categories.
+#[derive(Debug, Clone)]
+pub struct NamedEntityRecognizer {
+    orgs: Gazetteer,
+    places: Gazetteer,
+    products: Gazetteer,
+    objects: Gazetteer,
+    given_names: Gazetteer,
+    surnames: Gazetteer,
+    designations: Gazetteer,
+    org_suffixes: Gazetteer,
+}
+
+impl Default for NamedEntityRecognizer {
+    fn default() -> Self {
+        Self {
+            orgs: normalized(gazetteer::ORGANIZATIONS, false),
+            places: normalized(gazetteer::PLACES, false),
+            products: normalized(gazetteer::PRODUCTS, false),
+            objects: normalized(gazetteer::OBJECTS, false),
+            given_names: normalized(gazetteer::GIVEN_NAMES, false),
+            surnames: normalized(gazetteer::SURNAMES, false),
+            designations: normalized(gazetteer::DESIGNATIONS, true),
+            org_suffixes: normalized(gazetteer::ORG_SUFFIXES, false),
+        }
+    }
+}
+
+/// Tokenize each entry and join with single spaces so that gazetteer keys
+/// match the token stream exactly (e.g. `J. P. Morgan` → `J . P . Morgan`).
+fn normalized(entries: &[&str], lowercase: bool) -> Gazetteer {
+    let mut g = Gazetteer::default();
+    for e in entries {
+        let joined = join_tokens(e, lowercase);
+        if !joined.is_empty() {
+            g.insert(&joined);
+        }
+    }
+    g
+}
+
+fn join_tokens(text: &str, lowercase: bool) -> String {
+    let toks = tokenize(text);
+    let mut s = String::with_capacity(text.len());
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        if lowercase {
+            s.push_str(&t.lower());
+        } else {
+            s.push_str(t.text);
+        }
+    }
+    s
+}
+
+const HONORIFICS: &[&str] = &["Mr", "Mrs", "Ms", "Dr", "Prof", "Sir", "Madam"];
+const SCALE_WORDS: &[&str] = &[
+    "million", "billion", "trillion", "thousand", "crore", "lakh", "m", "bn",
+];
+const CURRENCY_SYMBOLS: &[&str] = &["$", "€", "£", "¥", "₹"];
+const COUNT_NOUNS: &[&str] = &[
+    "employees",
+    "people",
+    "workers",
+    "staff",
+    "stores",
+    "offices",
+    "branches",
+    "customers",
+    "subscribers",
+    "users",
+    "units",
+    "shares",
+    "subsidiaries",
+    "plants",
+    "factories",
+    "countries",
+    "cities",
+    "products",
+    "patents",
+    "clients",
+    "members",
+    "engineers",
+];
+
+impl NamedEntityRecognizer {
+    /// Create a recognizer with the built-in gazetteers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an organization name at runtime (e.g. from a domain list).
+    pub fn add_organization(&mut self, name: &str) {
+        let j = join_tokens(name, false);
+        self.orgs.insert(&j);
+    }
+
+    /// Add a person's given name.
+    pub fn add_given_name(&mut self, name: &str) {
+        self.given_names.insert(&join_tokens(name, false));
+    }
+
+    /// Add a surname.
+    pub fn add_surname(&mut self, name: &str) {
+        self.surnames.insert(&join_tokens(name, false));
+    }
+
+    /// Add a place name.
+    pub fn add_place(&mut self, name: &str) {
+        self.places.insert(&join_tokens(name, false));
+    }
+
+    /// Add a product name.
+    pub fn add_product(&mut self, name: &str) {
+        self.products.insert(&join_tokens(name, false));
+    }
+
+    /// Recognize entities in pre-tokenized text.
+    #[must_use]
+    pub fn recognize(&self, tokens: &[Token<'_>]) -> Vec<EntitySpan> {
+        let mut spans = Vec::new();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if let Some(best) = self.best_candidate(tokens, i) {
+                let last = i + best.token_len - 1;
+                spans.push(EntitySpan {
+                    category: best.category,
+                    first_token: i,
+                    token_len: best.token_len,
+                    start: tokens[i].start,
+                    end: tokens[last].end,
+                });
+                i += best.token_len;
+            } else {
+                i += 1;
+            }
+        }
+        spans
+    }
+
+    /// Convenience: tokenize and recognize in one call.
+    #[must_use]
+    pub fn recognize_text(&self, text: &str) -> Vec<(EntityCategory, String)> {
+        let tokens = tokenize(text);
+        self.recognize(&tokens)
+            .into_iter()
+            .map(|s| (s.category, text[s.start..s.end].to_string()))
+            .collect()
+    }
+
+    fn best_candidate(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let mut best: Option<Candidate> = None;
+        let mut consider = |c: Option<Candidate>| {
+            if let Some(c) = c {
+                best = match best {
+                    None => Some(c),
+                    Some(b)
+                        if c.token_len > b.token_len
+                            || (c.token_len == b.token_len && c.priority < b.priority) =>
+                    {
+                        Some(c)
+                    }
+                    b => b,
+                };
+            }
+        };
+        consider(self.match_currency(tokens, i));
+        consider(self.match_percent(tokens, i));
+        consider(self.match_time(tokens, i));
+        consider(self.match_period(tokens, i));
+        consider(self.match_year(tokens, i));
+        consider(self.match_length(tokens, i));
+        consider(self.match_count(tokens, i));
+        consider(self.match_person(tokens, i));
+        consider(self.match_org(tokens, i));
+        consider(self.match_designation(tokens, i));
+        consider(self.match_gazetteer(&self.places, tokens, i, EntityCategory::Plc, 40));
+        consider(self.match_gazetteer(&self.products, tokens, i, EntityCategory::Prod, 50));
+        consider(self.match_gazetteer(&self.objects, tokens, i, EntityCategory::Obj, 60));
+        best
+    }
+
+    /// Longest gazetteer match starting at `i` (case-preserving key).
+    fn match_gazetteer(
+        &self,
+        g: &Gazetteer,
+        tokens: &[Token<'_>],
+        i: usize,
+        category: EntityCategory,
+        priority: u8,
+    ) -> Option<Candidate> {
+        let max = g.max_len().min(tokens.len() - i);
+        let mut key = String::new();
+        let mut found: Option<usize> = None;
+        for len in 1..=max {
+            if len > 1 {
+                key.push(' ');
+            }
+            key.push_str(tokens[i + len - 1].text);
+            if g.contains(&key) {
+                found = Some(len);
+            }
+        }
+        found.map(|token_len| Candidate {
+            category,
+            token_len,
+            priority,
+        })
+    }
+
+    /// Same, but lowercase keys (designations).
+    fn match_designation(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let g = &self.designations;
+        let max = g.max_len().min(tokens.len() - i);
+        let mut key = String::new();
+        let mut found: Option<usize> = None;
+        for len in 1..=max {
+            if len > 1 {
+                key.push(' ');
+            }
+            key.push_str(&tokens[i + len - 1].lower());
+            if g.contains(&key) {
+                found = Some(len);
+            }
+        }
+        found.map(|token_len| Candidate {
+            category: EntityCategory::Desig,
+            token_len,
+            priority: 30,
+        })
+    }
+
+    fn match_currency(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let t = &tokens[i];
+        // Symbol form: $ 160 [million], or the range "$5-7 million"
+        // (tokenized as $ , 5-7, million — the hyphenated number run).
+        if CURRENCY_SYMBOLS.contains(&t.text) {
+            let num = tokens.get(i + 1)?;
+            let numeric_range = num.text.contains('-')
+                && num
+                    .text
+                    .split('-')
+                    .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()));
+            if num.kind.is_numeric() || numeric_range {
+                let mut len = 2;
+                if let Some(scale) = tokens.get(i + 2) {
+                    if SCALE_WORDS.contains(&scale.lower().as_str()) {
+                        len = 3;
+                    }
+                }
+                return Some(Candidate {
+                    category: EntityCategory::Currency,
+                    token_len: len,
+                    priority: 1,
+                });
+            }
+            return None;
+        }
+        // "Rs 5 crore", "USD 3 million".
+        let lower = t.lower();
+        if matches!(lower.as_str(), "rs" | "usd" | "eur" | "gbp" | "inr" | "jpy") {
+            let num = tokens.get(i + 1)?;
+            if num.kind.is_numeric() {
+                let mut len = 2;
+                if let Some(scale) = tokens.get(i + 2) {
+                    if SCALE_WORDS.contains(&scale.lower().as_str()) {
+                        len = 3;
+                    }
+                }
+                return Some(Candidate {
+                    category: EntityCategory::Currency,
+                    token_len: len,
+                    priority: 1,
+                });
+            }
+        }
+        // Number-first form: "160 million dollars", "5 crore rupees".
+        if t.kind.is_numeric() {
+            let mut j = i + 1;
+            if let Some(scale) = tokens.get(j) {
+                if SCALE_WORDS.contains(&scale.lower().as_str()) {
+                    j += 1;
+                }
+            }
+            if let Some(cur) = tokens.get(j) {
+                if gazetteer::CURRENCY_WORDS.contains(&cur.lower().as_str()) {
+                    return Some(Candidate {
+                        category: EntityCategory::Currency,
+                        token_len: j - i + 1,
+                        priority: 1,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn match_percent(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let t = &tokens[i];
+        if !t.kind.is_numeric() {
+            return None;
+        }
+        let next = tokens.get(i + 1)?;
+        if next.text == "%" || matches!(next.lower().as_str(), "percent" | "pct") {
+            return Some(Candidate {
+                category: EntityCategory::Prcnt,
+                token_len: 2,
+                priority: 2,
+            });
+        }
+        // "3 percentage points" (basis-point phrasing of rate moves).
+        if next.lower() == "percentage"
+            && tokens
+                .get(i + 2)
+                .is_some_and(|p| matches!(p.lower().as_str(), "points" | "point"))
+        {
+            return Some(Candidate {
+                category: EntityCategory::Prcnt,
+                token_len: 3,
+                priority: 2,
+            });
+        }
+        None
+    }
+
+    fn match_time(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let t = &tokens[i];
+        // Named times of day.
+        if matches!(t.lower().as_str(), "noon" | "midnight") {
+            return Some(Candidate {
+                category: EntityCategory::Tim,
+                token_len: 1,
+                priority: 3,
+            });
+        }
+        if !t.kind.is_numeric() {
+            return None;
+        }
+        // "4 p.m." — tokenizer yields ["4","p",".","m","."] or "4 pm".
+        if let Some(next) = tokens.get(i + 1) {
+            let nl = next.lower();
+            if matches!(nl.as_str(), "am" | "pm") {
+                return Some(Candidate {
+                    category: EntityCategory::Tim,
+                    token_len: 2,
+                    priority: 3,
+                });
+            }
+            if (nl == "a" || nl == "p")
+                && tokens.get(i + 2).is_some_and(|d| d.text == ".")
+                && tokens.get(i + 3).is_some_and(|m| m.lower() == "m")
+            {
+                let len = if tokens.get(i + 4).is_some_and(|d| d.text == ".") {
+                    5
+                } else {
+                    4
+                };
+                return Some(Candidate {
+                    category: EntityCategory::Tim,
+                    token_len: len,
+                    priority: 3,
+                });
+            }
+            // HH:MM
+            if next.text == ":"
+                && tokens
+                    .get(i + 2)
+                    .is_some_and(|m| m.kind == TokenKind::Number)
+                && next.start == t.end
+            {
+                return Some(Candidate {
+                    category: EntityCategory::Tim,
+                    token_len: 3,
+                    priority: 3,
+                });
+            }
+        }
+        None
+    }
+
+    fn match_period(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let t = &tokens[i];
+        // Quarter shorthand: "Q3", "Q4 2005", "H1 2006".
+        if t.text.len() == 2
+            && (t.text.starts_with('Q') || t.text.starts_with('H'))
+            && t.text[1..].chars().all(|c| c.is_ascii_digit())
+        {
+            let len = if tokens.get(i + 1).is_some_and(|y| is_year(y.text)) {
+                2
+            } else {
+                1
+            };
+            return Some(Candidate {
+                category: EntityCategory::Period,
+                token_len: len,
+                priority: 4,
+            });
+        }
+        // Month [day] [, year] / Month year.
+        if gazetteer::MONTHS.contains(&t.text) {
+            let mut len = 1;
+            if let Some(day) = tokens.get(i + 1) {
+                // A day-of-month ("April 12") or a year ("April 2004").
+                if day.kind == TokenKind::Number && (day.text.len() <= 2 || is_year(day.text)) {
+                    len = 2;
+                }
+            }
+            // Optional ", 2004" after a day.
+            if len == 2 && tokens.get(i + 2).is_some_and(|c| c.text == ",") {
+                if let Some(y) = tokens.get(i + 3) {
+                    if is_year(y.text) {
+                        len = 4;
+                    }
+                }
+            }
+            return Some(Candidate {
+                category: EntityCategory::Period,
+                token_len: len,
+                priority: 4,
+            });
+        }
+        if gazetteer::WEEKDAYS.contains(&t.text) {
+            return Some(Candidate {
+                category: EntityCategory::Period,
+                token_len: 1,
+                priority: 4,
+            });
+        }
+        // "fourth quarter", "last year", "this week", "fiscal 2004".
+        let lower = t.lower();
+        if matches!(
+            lower.as_str(),
+            "first"
+                | "second"
+                | "third"
+                | "fourth"
+                | "last"
+                | "next"
+                | "this"
+                | "current"
+                | "previous"
+                | "fiscal"
+        ) {
+            if let Some(next) = tokens.get(i + 1) {
+                let nl = next.lower();
+                if gazetteer::PERIOD_WORDS.contains(&nl.as_str()) {
+                    return Some(Candidate {
+                        category: EntityCategory::Period,
+                        token_len: 2,
+                        priority: 4,
+                    });
+                }
+                if lower == "fiscal" && is_year(next.text) {
+                    return Some(Candidate {
+                        category: EntityCategory::Period,
+                        token_len: 2,
+                        priority: 4,
+                    });
+                }
+            }
+        }
+        // Ordinal + quarter: "4th quarter".
+        if t.kind == TokenKind::Ordinal {
+            if let Some(next) = tokens.get(i + 1) {
+                if gazetteer::PERIOD_WORDS.contains(&next.lower().as_str()) {
+                    return Some(Candidate {
+                        category: EntityCategory::Period,
+                        token_len: 2,
+                        priority: 4,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn match_year(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Number && is_year(t.text) {
+            return Some(Candidate {
+                category: EntityCategory::Year,
+                token_len: 1,
+                priority: 10, // any longer/earlier rule (date, currency) wins
+            });
+        }
+        None
+    }
+
+    fn match_length(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let t = &tokens[i];
+        if !t.kind.is_numeric() {
+            return None;
+        }
+        let next = tokens.get(i + 1)?;
+        if gazetteer::UNITS.contains(&next.lower().as_str()) {
+            return Some(Candidate {
+                category: EntityCategory::Lngth,
+                token_len: 2,
+                priority: 5,
+            });
+        }
+        None
+    }
+
+    fn match_count(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let t = &tokens[i];
+        // Digit + count noun: "5,000 employees".
+        if t.kind.is_numeric() && !is_year(t.text) {
+            if let Some(next) = tokens.get(i + 1) {
+                if COUNT_NOUNS.contains(&next.lower().as_str()) {
+                    return Some(Candidate {
+                        category: EntityCategory::Cnt,
+                        token_len: 2,
+                        priority: 6,
+                    });
+                }
+            }
+        }
+        // Spelled number + count noun: "three subsidiaries".
+        if gazetteer::NUMBER_WORDS.contains(&t.lower().as_str()) {
+            if let Some(next) = tokens.get(i + 1) {
+                if COUNT_NOUNS.contains(&next.lower().as_str()) {
+                    return Some(Candidate {
+                        category: EntityCategory::Cnt,
+                        token_len: 2,
+                        priority: 6,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn match_person(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        let t = &tokens[i];
+        // Honorific (+ .) + capitalised run.
+        if HONORIFICS.contains(&t.text) {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|d| d.text == ".") {
+                j += 1;
+            }
+            let mut namelen = 0usize;
+            while namelen < 3 {
+                match tokens.get(j + namelen) {
+                    Some(tok) if tok.is_capitalized() && !self.is_nonperson_capital(tok) => {
+                        namelen += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if namelen > 0 {
+                return Some(Candidate {
+                    category: EntityCategory::Prsn,
+                    token_len: j + namelen - i,
+                    priority: 7,
+                });
+            }
+            return None;
+        }
+        if !t.is_capitalized() {
+            return None;
+        }
+        let is_given = self.given_names.contains(t.text);
+        let is_surname = self.surnames.contains(t.text);
+        if is_given {
+            // Given [Middle-initial .] Surname / Given Capitalised.
+            let mut j = i + 1;
+            if let Some(mid) = tokens.get(j) {
+                if mid.text.chars().count() == 1
+                    && mid.is_capitalized()
+                    && tokens.get(j + 1).is_some_and(|d| d.text == ".")
+                {
+                    j += 2;
+                }
+            }
+            if let Some(next) = tokens.get(j) {
+                if next.is_capitalized() && !self.is_nonperson_capital(next) {
+                    return Some(Candidate {
+                        category: EntityCategory::Prsn,
+                        token_len: j + 1 - i,
+                        priority: 7,
+                    });
+                }
+            }
+            // Lone given name is a weak person mention.
+            return Some(Candidate {
+                category: EntityCategory::Prsn,
+                token_len: 1,
+                priority: 25,
+            });
+        }
+        if is_surname {
+            return Some(Candidate {
+                category: EntityCategory::Prsn,
+                token_len: 1,
+                priority: 26,
+            });
+        }
+        None
+    }
+
+    /// A capitalised token that should never be absorbed into a person
+    /// name (known org/place/month, org suffix).
+    fn is_nonperson_capital(&self, tok: &Token<'_>) -> bool {
+        self.orgs.contains(tok.text)
+            || self.places.contains(tok.text)
+            || self.org_suffixes.contains(tok.text)
+            || gazetteer::MONTHS.contains(&tok.text)
+            || gazetteer::WEEKDAYS.contains(&tok.text)
+    }
+
+    fn match_org(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+        // Gazetteer orgs (longest match).
+        let gaz = self.match_gazetteer(&self.orgs, tokens, i, EntityCategory::Org, 20);
+        // Unknown capitalised run ending in an org suffix: "Zenlith
+        // Systems Inc." — up to 4 tokens + suffix (+ optional dot).
+        let t = &tokens[i];
+        let mut suffix_match: Option<Candidate> = None;
+        if t.is_capitalized() {
+            let mut run = 1usize;
+            while run < 6 {
+                match tokens.get(i + run) {
+                    Some(tok) if tok.is_capitalized() => {
+                        if self.org_suffixes.contains(tok.text) {
+                            let mut len = run + 1;
+                            // Absorb abbreviation dot: "Inc."
+                            if tokens.get(i + len).is_some_and(|d| {
+                                d.text == "." && d.start == tokens[i + len - 1].end
+                            }) {
+                                len += 1;
+                            }
+                            // Keep the longest suffix-terminated run:
+                            // "Zenlith Systems Inc." beats "Zenlith Systems".
+                            suffix_match = Some(Candidate {
+                                category: EntityCategory::Org,
+                                token_len: len,
+                                priority: 8,
+                            });
+                        }
+                        run += 1;
+                    }
+                    _ => break,
+                }
+            }
+            // A leading org-suffix word alone ("Group said") is not an org.
+        }
+        match (gaz, suffix_match) {
+            (Some(a), Some(b)) => Some(if b.token_len > a.token_len { b } else { a }),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Is `text` a plausible year literal (1900–2099)?
+fn is_year(text: &str) -> bool {
+    text.len() == 4
+        && text.starts_with("19") | text.starts_with("20")
+        && text.bytes().all(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ner() -> NamedEntityRecognizer {
+        NamedEntityRecognizer::new()
+    }
+
+    fn cats(text: &str) -> Vec<(EntityCategory, String)> {
+        ner().recognize_text(text)
+    }
+
+    fn has(text: &str, cat: EntityCategory, surface: &str) -> bool {
+        cats(text).iter().any(|(c, s)| *c == cat && s == surface)
+    }
+
+    #[test]
+    fn currency_symbol_forms() {
+        assert!(has(
+            "IBM paid $160 million for it",
+            EntityCategory::Currency,
+            "$160 million"
+        ));
+        assert!(has("a fee of $42", EntityCategory::Currency, "$42"));
+        assert!(has(
+            "Rs 500 crore deal",
+            EntityCategory::Currency,
+            "Rs 500 crore"
+        ));
+    }
+
+    #[test]
+    fn currency_word_forms() {
+        assert!(has(
+            "worth 160 million dollars today",
+            EntityCategory::Currency,
+            "160 million dollars"
+        ));
+    }
+
+    #[test]
+    fn percent_forms() {
+        assert!(has(
+            "revenue grew 10 % in Q4",
+            EntityCategory::Prcnt,
+            "10 %"
+        ));
+        assert!(has(
+            "a 5.3 percent rise",
+            EntityCategory::Prcnt,
+            "5.3 percent"
+        ));
+    }
+
+    #[test]
+    fn year_and_period() {
+        assert!(has(
+            "profits of 1996 were flat",
+            EntityCategory::Year,
+            "1996"
+        ));
+        assert!(has(
+            "the deal closed in April 2004",
+            EntityCategory::Period,
+            "April 2004"
+        ));
+        assert!(has("announced on Monday", EntityCategory::Period, "Monday"));
+        assert!(has(
+            "in the fourth quarter",
+            EntityCategory::Period,
+            "fourth quarter"
+        ));
+        assert!(has(
+            "results for fiscal 2005",
+            EntityCategory::Period,
+            "fiscal 2005"
+        ));
+    }
+
+    #[test]
+    fn date_with_day_and_year() {
+        assert!(has(
+            "signed on April 12, 2004 in Delhi",
+            EntityCategory::Period,
+            "April 12, 2004"
+        ));
+    }
+
+    #[test]
+    fn time_expressions() {
+        assert!(has("the call is at 4 pm", EntityCategory::Tim, "4 pm"));
+        assert!(has("opens at 09:30 sharp", EntityCategory::Tim, "09:30"));
+        assert!(has("closes at 4 p.m. today", EntityCategory::Tim, "4 p.m."));
+    }
+
+    #[test]
+    fn length_and_count() {
+        assert!(has("a 5 km pipeline", EntityCategory::Lngth, "5 km"));
+        assert!(has(
+            "added 40 gigabytes of storage",
+            EntityCategory::Lngth,
+            "40 gigabytes"
+        ));
+        assert!(has(
+            "hired 5,000 employees",
+            EntityCategory::Cnt,
+            "5,000 employees"
+        ));
+        assert!(has(
+            "opened three subsidiaries",
+            EntityCategory::Cnt,
+            "three subsidiaries"
+        ));
+    }
+
+    #[test]
+    fn person_forms() {
+        assert!(has(
+            "Mr. Andersen resigned",
+            EntityCategory::Prsn,
+            "Mr. Andersen"
+        ));
+        assert!(has(
+            "James Wilson joined the board",
+            EntityCategory::Prsn,
+            "James Wilson"
+        ));
+        assert!(has(
+            "John F. Kennedy spoke",
+            EntityCategory::Prsn,
+            "John F. Kennedy"
+        ));
+    }
+
+    #[test]
+    fn organizations() {
+        assert!(has("IBM acquired Daksh", EntityCategory::Org, "IBM"));
+        assert!(has("IBM acquired Daksh", EntityCategory::Org, "Daksh"));
+        assert!(has(
+            "Bank of America said",
+            EntityCategory::Org,
+            "Bank of America"
+        ));
+        // Unknown name + suffix.
+        assert!(has(
+            "Zenlith Systems Inc. announced",
+            EntityCategory::Org,
+            "Zenlith Systems Inc."
+        ));
+    }
+
+    #[test]
+    fn designations_case_insensitive() {
+        assert!(has(
+            "was named CEO of the firm",
+            EntityCategory::Desig,
+            "CEO"
+        ));
+        assert!(has(
+            "the new chief executive officer",
+            EntityCategory::Desig,
+            "chief executive officer"
+        ));
+        assert!(has(
+            "a Vice President at Oracle",
+            EntityCategory::Desig,
+            "Vice President"
+        ));
+    }
+
+    #[test]
+    fn places_and_products() {
+        assert!(has("based in Bangalore", EntityCategory::Plc, "Bangalore"));
+        assert!(has("moved to New York", EntityCategory::Plc, "New York"));
+        assert!(has("the ThinkPad line", EntityCategory::Prod, "ThinkPad"));
+    }
+
+    #[test]
+    fn objects() {
+        assert!(has("the Nasdaq fell", EntityCategory::Obj, "Nasdaq"));
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "New York" must be one PLC, not PRSN("New")+... etc.
+        let got = cats("offices in New York City Monday");
+        assert!(got
+            .iter()
+            .any(|(c, s)| *c == EntityCategory::Plc && s == "New York"));
+    }
+
+    #[test]
+    fn date_beats_bare_year() {
+        let got = cats("in April 2004");
+        // The PERIOD span should absorb the year.
+        assert!(got
+            .iter()
+            .any(|(c, s)| *c == EntityCategory::Period && s == "April 2004"));
+        assert!(!got.iter().any(|(c, _)| *c == EntityCategory::Year));
+    }
+
+    #[test]
+    fn unknown_capitalized_word_left_unannotated() {
+        let got = cats("Qwzx announced gains");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn spans_are_disjoint_and_ordered() {
+        let text = "IBM paid $160 million for Daksh in April 2004, said Mr. Palmisano, CEO of IBM, in Bangalore.";
+        let toks = tokenize(text);
+        let spans = ner().recognize(&toks);
+        for w in spans.windows(2) {
+            assert!(w[0].first_token + w[0].token_len <= w[1].first_token);
+        }
+        assert!(spans.len() >= 6, "{spans:?}");
+    }
+
+    #[test]
+    fn runtime_extension() {
+        let mut n = ner();
+        assert!(n.recognize_text("Frobnicate announced").is_empty());
+        n.add_organization("Frobnicate");
+        assert!(n
+            .recognize_text("Frobnicate announced")
+            .iter()
+            .any(|(c, s)| *c == EntityCategory::Org && s == "Frobnicate"));
+    }
+
+    #[test]
+    fn quarter_shorthand_and_named_times() {
+        assert!(has(
+            "results for Q3 were flat",
+            EntityCategory::Period,
+            "Q3"
+        ));
+        assert!(has(
+            "guidance for Q4 2005 rose",
+            EntityCategory::Period,
+            "Q4 2005"
+        ));
+        assert!(has("the call starts at noon", EntityCategory::Tim, "noon"));
+        assert!(has(
+            "servers restart at midnight",
+            EntityCategory::Tim,
+            "midnight"
+        ));
+    }
+
+    #[test]
+    fn percentage_points_and_currency_ranges() {
+        assert!(has(
+            "margins rose 3 percentage points",
+            EntityCategory::Prcnt,
+            "3 percentage points"
+        ));
+        assert!(has(
+            "a deal worth $5-7 million",
+            EntityCategory::Currency,
+            "$5-7 million"
+        ));
+    }
+
+    #[test]
+    fn is_year_bounds() {
+        assert!(is_year("1996"));
+        assert!(is_year("2004"));
+        assert!(!is_year("1896"));
+        assert!(!is_year("210"));
+        assert!(!is_year("21000"));
+        assert!(!is_year("20a4"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks for every pipeline stage.
+//!
+//! These measure the *systems* cost of the reproduction (throughput of
+//! tokenization, annotation, classification, retrieval and the
+//! end-to-end event-identification path) — the paper reports no
+//! performance numbers, but a production ETAP lives or dies on snippet
+//! throughput against a live crawl.
+//!
+//! ```sh
+//! cargo bench -p etap-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use etap::training::train_driver;
+use etap::{DriverSpec, EventIdentifier, SalesDriver, TrainingConfig};
+use etap_annotate::Annotator;
+use etap_corpus::{SearchEngine, SyntheticWeb, WebConfig};
+use etap_text::{SentenceChunker, SnippetGenerator};
+
+fn sample_text(web: &SyntheticWeb, n: usize) -> String {
+    let mut s = String::new();
+    for doc in web.docs().iter().take(n) {
+        s.push_str(&doc.text());
+        s.push('\n');
+    }
+    s
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let web = SyntheticWeb::generate(WebConfig::with_docs(200));
+    let text = sample_text(&web, 200);
+    let mut g = c.benchmark_group("text");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("tokenize", |b| {
+        b.iter(|| etap_text::tokenize(std::hint::black_box(&text)).len())
+    });
+    let chunker = SentenceChunker::new();
+    g.bench_function("sentence_chunk", |b| {
+        b.iter(|| chunker.sentences(std::hint::black_box(&text)).len())
+    });
+    let snipgen = SnippetGenerator::new(3);
+    g.bench_function("snippets", |b| {
+        b.iter(|| snipgen.snippets(std::hint::black_box(&text)).len())
+    });
+    g.finish();
+}
+
+fn bench_annotate(c: &mut Criterion) {
+    let web = SyntheticWeb::generate(WebConfig::with_docs(50));
+    let snipgen = SnippetGenerator::new(3);
+    let snippets: Vec<String> = web
+        .docs()
+        .iter()
+        .flat_map(|d| snipgen.snippets(&d.text()))
+        .map(|s| s.text)
+        .collect();
+    let bytes: usize = snippets.iter().map(String::len).sum();
+    let annotator = Annotator::new();
+    let mut g = c.benchmark_group("annotate");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("ner_pos_full", |b| {
+        b.iter(|| {
+            snippets
+                .iter()
+                .map(|s| annotator.annotate(std::hint::black_box(s)).entities.len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let web = SyntheticWeb::generate(WebConfig::with_docs(800));
+    let engine = SearchEngine::build(web.docs());
+    let annotator = Annotator::new();
+    let config = TrainingConfig {
+        negative_snippets: 1_000,
+        ..TrainingConfig::default()
+    };
+    let spec = DriverSpec::builtin(SalesDriver::ChangeInManagement);
+    let trained = train_driver(&spec, &engine, &web, &annotator, &config, |_| false);
+    let snipgen = SnippetGenerator::new(3);
+    let snippets: Vec<_> = web
+        .docs()
+        .iter()
+        .take(60)
+        .flat_map(|d| snipgen.snippets(&d.text()))
+        .map(|s| annotator.annotate(&s.text))
+        .collect();
+    let mut g = c.benchmark_group("classify");
+    g.throughput(Throughput::Elements(snippets.len() as u64));
+    g.bench_function("nb_score_snippets", |b| {
+        b.iter(|| {
+            snippets
+                .iter()
+                .map(|s| trained.score(std::hint::black_box(s)))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    for &docs in &[500usize, 2_000, 8_000] {
+        let web = SyntheticWeb::generate(WebConfig::with_docs(docs));
+        let engine = SearchEngine::build(web.docs());
+        g.bench_with_input(
+            BenchmarkId::new("bm25_phrase_query", docs),
+            &docs,
+            |b, _| {
+                b.iter(|| {
+                    engine
+                        .search(std::hint::black_box("\"new ceo\""), 200)
+                        .len()
+                })
+            },
+        );
+    }
+    let web = SyntheticWeb::generate(WebConfig::with_docs(2_000));
+    g.bench_function("index_build_2k_docs", |b| {
+        b.iter(|| SearchEngine::build(std::hint::black_box(web.docs())).num_docs())
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let web = SyntheticWeb::generate(WebConfig::with_docs(800));
+    let engine = SearchEngine::build(web.docs());
+    let annotator = Annotator::new();
+    let config = TrainingConfig {
+        negative_snippets: 1_000,
+        ..TrainingConfig::default()
+    };
+    let spec = DriverSpec::builtin(SalesDriver::RevenueGrowth);
+    let trained = train_driver(&spec, &engine, &web, &annotator, &config, |_| false);
+    let fresh = SyntheticWeb::generate(WebConfig {
+        seed: 31,
+        ..WebConfig::with_docs(40)
+    });
+    let identifier = EventIdentifier::new(3);
+    let drivers = [trained];
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(fresh.len() as u64));
+    g.bench_function("identify_events_40_docs", |b| {
+        b.iter(|| {
+            identifier
+                .identify(&drivers, std::hint::black_box(fresh.docs()))
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_annotate,
+    bench_classify,
+    bench_search,
+    bench_pipeline
+);
+criterion_main!(benches);

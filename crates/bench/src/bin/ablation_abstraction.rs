@@ -1,0 +1,118 @@
+//! **Ablation A3** — feature abstraction (the paper's central
+//! representational choice, §3.2).
+//!
+//! Four policies:
+//! * **paper**: entities PA-abstracted, content POS instance-valued;
+//! * **bow**: plain bag of words (entities keep their surfaces);
+//! * **ne-only**: entity tags only, all plain words dropped;
+//! * **words-only**: entities dropped entirely, words kept.
+//!
+//! Evaluated twice: on the held-out documents of the *training* web
+//! (in-distribution) and on a freshly generated web (distribution
+//! shift — new companies, new people; the regime a deployed ETAP lives
+//! in, since trigger events are news and news features new names).
+//!
+//! The paper motivates abstraction with generalization ("potentially
+//! any ORGANIZATION could make a profit") and parameter-count
+//! arguments, not a BoW baseline; this ablation supplies the baseline.
+//! Expected shape: abstraction buys *recall* (it cannot miss an event
+//! for naming an unseen company); surface features buy *precision*
+//! via memorization, an edge that shrinks under shift.
+//!
+//! ```sh
+//! cargo run --release -p etap-bench --bin ablation_abstraction
+//! ```
+
+use etap::training::train_driver;
+use etap::{DriverSpec, SalesDriver, TrainingConfig};
+use etap_annotate::Annotator;
+use etap_annotate::{EntityCategory, PosTag};
+use etap_bench::{
+    evaluate_driver, is_test_doc, paper_test_set_with_window, paper_training_config, standard_web,
+};
+use etap_corpus::{SearchEngine, SyntheticWeb, WebConfig};
+use etap_features::{AbstractionPolicy, CategoryChoice};
+
+fn main() {
+    println!("== Ablation A3: feature abstraction policies (paper §3.2) ==\n");
+    let web = standard_web();
+    let engine = SearchEngine::build(web.docs());
+    let annotator = Annotator::new();
+
+    // A fresh web for the distribution-shift evaluation.
+    let fresh = SyntheticWeb::generate(WebConfig {
+        seed: 0xF4E54,
+        ..*web.config()
+    });
+    let (test_pos, test_bg) = paper_test_set_with_window(&web, 3);
+    let (fresh_pos, fresh_bg) = paper_test_set_with_window(&fresh, 3);
+
+    let mut ne_only = AbstractionPolicy::paper_default();
+    for t in PosTag::ALL {
+        ne_only.set_pos(t, CategoryChoice::Drop);
+    }
+    let mut words_only = AbstractionPolicy::paper_default();
+    for c in EntityCategory::ALL {
+        words_only.set_entity(c, CategoryChoice::Drop);
+    }
+    let policies: [(&str, AbstractionPolicy); 4] = [
+        (
+            "paper (NE-PA + word-IV)",
+            AbstractionPolicy::paper_default(),
+        ),
+        ("bag-of-words", AbstractionPolicy::bag_of_words()),
+        ("ne-only", ne_only),
+        ("words-only", words_only),
+    ];
+
+    let drivers = [
+        SalesDriver::MergersAcquisitions,
+        SalesDriver::ChangeInManagement,
+    ];
+    println!(
+        "| {:<24} | {:^23} | {:^23} |",
+        "policy / driver", "held-out  P / R / F1", "fresh web  P / R / F1"
+    );
+    println!("|{}|{}|{}|", "-".repeat(26), "-".repeat(25), "-".repeat(25));
+    for (name, policy) in policies {
+        let config = TrainingConfig {
+            policy,
+            ..paper_training_config(&web)
+        };
+        for (i, driver) in drivers.into_iter().enumerate() {
+            let spec = DriverSpec::builtin(driver);
+            let trained = train_driver(&spec, &engine, &web, &annotator, &config, is_test_doc);
+            let held = evaluate_driver(
+                &trained,
+                &annotator,
+                &test_pos[i],
+                &[test_pos[1 - i].as_slice(), test_bg.as_slice()],
+            );
+            let shifted = evaluate_driver(
+                &trained,
+                &annotator,
+                &fresh_pos[i],
+                &[fresh_pos[1 - i].as_slice(), fresh_bg.as_slice()],
+            );
+            let label = format!("{name} / {}", short(driver));
+            println!(
+                "| {label:<24} | {:>5.3} / {:>5.3} / {:>5.3} | {:>5.3} / {:>5.3} / {:>5.3} |",
+                held.precision, held.recall, held.f1, shifted.precision, shifted.recall, shifted.f1
+            );
+        }
+    }
+    println!(
+        "\nReading: the paper policy holds recall near 1.0 in both columns (abstraction \
+         generalizes over names); bag-of-words buys precision by memorizing surfaces — \
+         an edge that a production system trades against missed leads, and that narrows \
+         under distribution shift."
+    );
+}
+
+fn short(d: SalesDriver) -> &'static str {
+    match d {
+        SalesDriver::MergersAcquisitions => "M&A",
+        SalesDriver::ChangeInManagement => "CiM",
+        SalesDriver::RevenueGrowth => "Rev",
+    }
+}

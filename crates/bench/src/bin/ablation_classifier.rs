@@ -1,0 +1,62 @@
+//! **Ablation A4** — classifier family.
+//!
+//! §3.3.2: "Traditional methods of classification such as naïve Bayes
+//! and SVM could be used … Alternatively, any one of the proposed
+//! methods of learning classifiers in the presence of noise can be
+//! used." This sweep runs the same harvested data through every family
+//! in the repo: multinomial NB (the paper's), Bernoulli NB, logistic
+//! regression, PU-weighted logistic regression (Lee & Liu), a Pegasos
+//! linear SVM and EM-NB.
+//!
+//! ```sh
+//! cargo run --release -p etap-bench --bin ablation_classifier
+//! ```
+
+use etap_annotate::Annotator;
+use etap_bench::{eval_both_drivers_with, paper_training_config, standard_web};
+use etap_classify::{
+    BernoulliNb, EmNaiveBayes, LinearSvm, LogisticRegression, MultinomialNb, Rocchio,
+};
+use etap_corpus::SearchEngine;
+
+fn main() {
+    println!("== Ablation A4: classifier family on identical harvested data ==\n");
+    let web = standard_web();
+    let engine = SearchEngine::build(web.docs());
+    let annotator = Annotator::new();
+    let config = paper_training_config(&web);
+
+    println!(
+        "| {:<22} | {:^23} | {:^23} |",
+        "classifier", "M&A  P / R / F1", "CiM  P / R / F1"
+    );
+    println!("|{}|{}|{}|", "-".repeat(24), "-".repeat(25), "-".repeat(25));
+
+    macro_rules! row {
+        ($name:expr, $trainer:expr) => {{
+            let [ma, cim] = eval_both_drivers_with(&$trainer, &web, &engine, &annotator, &config);
+            println!(
+                "| {:<22} | {:>5.3} / {:>5.3} / {:>5.3} | {:>5.3} / {:>5.3} / {:>5.3} |",
+                $name, ma.precision, ma.recall, ma.f1, cim.precision, cim.recall, cim.f1
+            );
+        }};
+    }
+
+    row!("multinomial NB (paper)", MultinomialNb::new());
+    row!("Bernoulli NB", BernoulliNb::new());
+    row!("logistic regression", LogisticRegression::new());
+    row!(
+        "PU-weighted LR (w=3)",
+        LogisticRegression::positive_unlabeled(3.0)
+    );
+    row!("linear SVM (Pegasos)", LinearSvm::new());
+    row!("EM naive Bayes", EmNaiveBayes::new());
+    row!("Rocchio centroid", Rocchio::new());
+
+    println!(
+        "\nObserved shape: both naive Bayes variants and EM-NB land in the paper's band. \
+         Unweighted discriminative learners (LR, SVM) are precision-heavy at the 0.5 \
+         threshold under the ~30:1 class imbalance; Lee & Liu's positive weighting \
+         (PU-LR) restores recall — exactly why the paper cites it for this setting."
+    );
+}

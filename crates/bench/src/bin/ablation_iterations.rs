@@ -1,0 +1,49 @@
+//! **Ablation A2** — de-noising iterations.
+//!
+//! The paper reports Table 1 "after two iterations" and stops when the
+//! noisy set "does not change considerably". This sweep forces 0–5
+//! iterations (no early stop) to show where the gain saturates.
+//!
+//! ```sh
+//! cargo run --release -p etap-bench --bin ablation_iterations
+//! ```
+
+use etap::TrainingConfig;
+use etap_annotate::Annotator;
+use etap_bench::{eval_both_drivers, paper_training_config, standard_web};
+use etap_classify::denoise::DenoiseConfig;
+use etap_corpus::SearchEngine;
+
+fn main() {
+    println!("== Ablation A2: de-noising iterations vs F1 (paper stops at 2) ==\n");
+    let web = standard_web();
+    let engine = SearchEngine::build(web.docs());
+    let annotator = Annotator::new();
+
+    println!(
+        "| {:>4} | {:^23} | {:^23} |",
+        "iter", "M&A  P / R / F1", "CiM  P / R / F1"
+    );
+    println!("|------|{}|{}|", "-".repeat(25), "-".repeat(25));
+    for iters in 0..=5usize {
+        let config = TrainingConfig {
+            denoise: DenoiseConfig {
+                max_iterations: iters,
+                stability_threshold: 0.0,
+                ..DenoiseConfig::default()
+            },
+            ..paper_training_config(&web)
+        };
+        let [ma, cim] = eval_both_drivers(&web, &engine, &annotator, &config);
+        println!(
+            "| {iters:>4} | {:>5.3} / {:>5.3} / {:>5.3} | {:>5.3} / {:>5.3} / {:>5.3} |",
+            ma.precision, ma.recall, ma.f1, cim.precision, cim.recall, cim.f1
+        );
+    }
+    println!(
+        "\nObserved shape: the gain is front-loaded — one pass removes what the model can \
+         see, and further iterations are no-ops. Our keyword+NE filters produce a cleaner \
+         harvest than the paper's raw web data; ablation A5 injects noise to expose the \
+         regime where the second iteration (the paper's choice) earns its keep."
+    );
+}

@@ -1,0 +1,147 @@
+//! Diagnostic: show the background snippets each driver fires on, and
+//! the composition of the noisy-positive harvest. Not part of the paper
+//! reproduction; a development aid.
+
+use etap::training::{harvest_noisy_positives, train_driver};
+use etap::{DriverSpec, SalesDriver, TrainingConfig};
+use etap_annotate::Annotator;
+use etap_bench::{is_test_doc, paper_test_set, standard_web};
+use etap_corpus::SearchEngine;
+
+fn main() {
+    let web = standard_web();
+    let engine = SearchEngine::build(web.docs());
+    let annotator = Annotator::new();
+    let config = TrainingConfig::default();
+    let (positives, background) = paper_test_set(&web);
+    let _ = &positives;
+
+    let driver = match std::env::var("ETAP_DRIVER").as_deref() {
+        Ok("cim") => SalesDriver::ChangeInManagement,
+        Ok("rev") => SalesDriver::RevenueGrowth,
+        _ => SalesDriver::MergersAcquisitions,
+    };
+    let spec = DriverSpec::builtin(driver);
+
+    // Harvest composition: which genres did the fetched snippets come from?
+    let harvest = harvest_noisy_positives(&spec, &engine, &web, &annotator, &config);
+    println!(
+        "harvest: {} noisy positives from {} docs",
+        harvest.noisy.len(),
+        harvest.docs_fetched
+    );
+    // Harvest composition by source genre (match each noisy text back
+    // to the doc that contains it).
+    let mut from_trigger = 0usize;
+    let mut from_distractor = 0usize;
+    let mut from_other = 0usize;
+    for t in &harvest.noisy_texts {
+        let first_sentence = t.split(". ").next().unwrap_or(t);
+        let mut found = false;
+        for d in web.docs() {
+            if d.text().contains(first_sentence) {
+                match d.genre {
+                    etap_corpus::Genre::Trigger(_) => from_trigger += 1,
+                    etap_corpus::Genre::Distractor(_) => from_distractor += 1,
+                    _ => from_other += 1,
+                }
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            from_other += 1;
+        }
+    }
+    println!(
+        "harvest genres: trigger={from_trigger} distractor={from_distractor} other={from_other}"
+    );
+    for t in harvest.noisy_texts.iter().take(15) {
+        println!("  NP: {}", &t.chars().take(110).collect::<String>());
+    }
+
+    let trained = train_driver(&spec, &engine, &web, &annotator, &config, is_test_doc);
+    println!(
+        "\nretained {}/{} after {} iterations",
+        trained.report.retained_positives,
+        trained.report.noisy_positives,
+        trained.report.iterations
+    );
+
+    let mut fp = 0;
+    println!("\nfalse positives among background:");
+    for text in &background {
+        let s = trained.score(&annotator.annotate(text));
+        if s >= 0.5 {
+            fp += 1;
+            if fp <= 20 {
+                println!("  [{s:.3}] {}", &text.chars().take(110).collect::<String>());
+            }
+        }
+    }
+    println!("\ntotal FP: {fp}/{}", background.len());
+
+    // Feature-level forensics: strongest positive evidence in the model.
+    println!("\nprior log-odds: {:.3}", trained.model.prior_log_odds());
+    let mut feats: Vec<(String, f64)> = trained
+        .vectorizer
+        .vocabulary()
+        .iter()
+        .map(|(id, term)| (term.to_string(), trained.model.feature_log_odds(id)))
+        .collect();
+    feats.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top positive-evidence features:");
+    for (t, w) in feats.iter().take(25) {
+        println!("  {w:+.3} {t}");
+    }
+    println!("top negative-evidence features:");
+    for (t, w) in feats.iter().rev().take(10) {
+        println!("  {w:+.3} {t}");
+    }
+
+    // Term-by-term breakdown of one stubborn false positive.
+    let probe = "An industry survey ranked Texas Instruments among the most admired firms.";
+    let ann = annotator.annotate(probe);
+    let mut vz = trained.vectorizer.clone();
+    let v = vz.vectorize(&ann);
+    println!("\nprobe: {probe}");
+    for &(id, tf) in v.iter() {
+        let term = trained.vectorizer.vocabulary().term(id).unwrap_or("?");
+        println!("  {:+.3} ×{tf} {term}", trained.model.feature_log_odds(id));
+    }
+    println!("  posterior: {:.4}", trained.score(&ann));
+
+    // Raw document frequencies of suspicious features in the actual
+    // training pools.
+    use etap::training::{collect_pure_positives, sample_negatives};
+    let negs = sample_negatives(&web, &annotator, &config, is_test_doc);
+    let pures = collect_pure_positives(&spec, &web, &annotator, &config, is_test_doc);
+    let words = ["survei", "rank", "admir", "industri", "NE:ORG"];
+    let mut vz2 = trained.vectorizer.clone();
+    let count = |snips: &[etap_annotate::AnnotatedSnippet], vz: &mut etap_features::Vectorizer| {
+        let mut counts = vec![0usize; words.len()];
+        for s in snips {
+            let v = vz.vectorize(s);
+            for (k, w) in words.iter().enumerate() {
+                if let Some(id) = trained.vectorizer.vocabulary().get(w) {
+                    if v.get(id) > 0.0 {
+                        counts[k] += 1;
+                    }
+                }
+            }
+        }
+        counts
+    };
+    let cn = count(&negs, &mut vz2);
+    let cp = count(&harvest.noisy, &mut vz2);
+    let cpp = count(&pures, &mut vz2);
+    println!(
+        "\ndoc frequencies (noisy pos n={} / pure n={} / neg n={}):",
+        harvest.noisy.len(),
+        pures.len(),
+        negs.len()
+    );
+    for (k, w) in words.iter().enumerate() {
+        println!("  {w}: {} / {} / {}", cp[k], cpp[k], cn[k]);
+    }
+}

@@ -1,0 +1,22 @@
+//! **Figure 3** — "Relative Information Gains for two alternative random
+//! variable representations of each abstraction category for the
+//! mergers & acquisitions sales driver."
+//!
+//! The paper plots log(RIG) of the PA (presence–absence) and IV
+//! (instance-valued) representations for every abstraction category and
+//! concludes (§3.2.2):
+//!
+//! 1. verbs (vb), adverbs (rb), nouns (nn, np) and adjectives (jj)
+//!    should NOT be abstracted (IV ≫ PA);
+//! 2. entities (such as PLC and ORG) SHOULD be abstracted (PA ≥ IV).
+//!
+//! ```sh
+//! cargo run --release -p etap-bench --bin figure3
+//! ```
+
+use etap_bench::rig_figure;
+use etap_corpus::SalesDriver;
+
+fn main() {
+    rig_figure(SalesDriver::MergersAcquisitions, "Figure 3");
+}

@@ -1,0 +1,13 @@
+//! **Figure 4** — same RIG analysis as Figure 3, for the *change in
+//! management* sales driver.
+//!
+//! ```sh
+//! cargo run --release -p etap-bench --bin figure4
+//! ```
+
+use etap_bench::rig_figure;
+use etap_corpus::SalesDriver;
+
+fn main() {
+    rig_figure(SalesDriver::ChangeInManagement, "Figure 4");
+}

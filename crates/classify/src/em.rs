@@ -1,0 +1,258 @@
+//! EM naïve Bayes over labeled + unlabeled data.
+//!
+//! The paper cites Nigam, McCallum, Thrun & Mitchell \[10\] ("Using EM to
+//! classify text from labeled and unlabeled documents") as one of the
+//! classifiers that can exploit the noisy positive set. The algorithm:
+//!
+//! 1. train naïve Bayes on the labeled data;
+//! 2. **E-step**: compute posteriors for the unlabeled documents;
+//! 3. **M-step**: retrain with the unlabeled documents weighted by those
+//!    posteriors (soft labels);
+//! 4. repeat for a fixed number of rounds or until the soft labels
+//!    stabilise.
+//!
+//! Within ETAP the "unlabeled" pool is the noisy positive harvest — EM
+//! then figures out which harvested snippets really belong to the
+//! positive class, an alternative to the hard-decision loop in
+//! [`crate::denoise`].
+
+use crate::data::Dataset;
+use crate::nb::MultinomialNbModel;
+use crate::{Classifier, Trainer};
+use etap_features::SparseVec;
+
+/// EM hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EmConfig {
+    /// Maximum EM rounds. Default 10.
+    pub max_rounds: usize,
+    /// Stop when the mean absolute change in unlabeled posteriors drops
+    /// below this. Default 1e-3.
+    pub tolerance: f64,
+    /// Laplace smoothing for the underlying NB.
+    pub alpha: f64,
+    /// Weight of each unlabeled document relative to a labeled one
+    /// (Nigam et al.'s λ down-weighting). Default 1.0.
+    pub unlabeled_weight: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 10,
+            tolerance: 1e-3,
+            alpha: 1.0,
+            unlabeled_weight: 1.0,
+        }
+    }
+}
+
+/// Semi-supervised EM naïve Bayes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmNaiveBayes {
+    /// Hyper-parameters.
+    pub config: EmConfig,
+}
+
+/// A weighted multinomial NB fit (soft counts), used internally by EM.
+fn fit_weighted(
+    labeled: &Dataset,
+    unlabeled: &[SparseVec],
+    soft_pos: &[f64],
+    cfg: &EmConfig,
+) -> MultinomialNbModel {
+    // Build soft class counts directly.
+    let dim = labeled.dimension().max(
+        unlabeled
+            .iter()
+            .flat_map(|v| v.iter().map(|&(id, _)| id as usize + 1))
+            .max()
+            .unwrap_or(0),
+    );
+    let alpha = cfg.alpha;
+    let mut counts = [vec![0.0f64; dim], vec![0.0f64; dim]];
+    let mut totals = [0.0f64; 2];
+    let mut docs = [0.0f64; 2];
+    let mut add = |v: &SparseVec, w_pos: f64, w_neg: f64| {
+        docs[0] += w_pos;
+        docs[1] += w_neg;
+        for &(id, tf) in v.iter() {
+            let tf = f64::from(tf);
+            counts[0][id as usize] += w_pos * tf;
+            counts[1][id as usize] += w_neg * tf;
+            totals[0] += w_pos * tf;
+            totals[1] += w_neg * tf;
+        }
+    };
+    for (v, label) in labeled.iter() {
+        if label.is_positive() {
+            add(v, 1.0, 0.0);
+        } else {
+            add(v, 0.0, 1.0);
+        }
+    }
+    for (v, &p) in unlabeled.iter().zip(soft_pos) {
+        add(
+            v,
+            cfg.unlabeled_weight * p,
+            cfg.unlabeled_weight * (1.0 - p),
+        );
+    }
+    // Reuse MultinomialNb's parameter shape by fitting a synthetic
+    // dataset is wasteful; instead construct the model directly through
+    // the same formulas.
+    MultinomialNbModel::from_soft_counts(&counts, &totals, &docs, alpha)
+}
+
+impl EmNaiveBayes {
+    /// EM trainer with default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run EM: `labeled` supplies the supervision, `unlabeled` the pool
+    /// whose soft labels EM infers. Returns the final model and the
+    /// final per-document positive posteriors of the unlabeled pool.
+    #[must_use]
+    pub fn fit_semi(
+        &self,
+        labeled: &Dataset,
+        unlabeled: &[SparseVec],
+    ) -> (MultinomialNbModel, Vec<f64>) {
+        let cfg = &self.config;
+        // Round 0: supervised only.
+        let mut model = fit_weighted(labeled, &[], &[], cfg);
+        let mut soft: Vec<f64> = unlabeled.iter().map(|v| model.posterior(v)).collect();
+        for _ in 0..cfg.max_rounds {
+            model = fit_weighted(labeled, unlabeled, &soft, cfg);
+            let new_soft: Vec<f64> = unlabeled.iter().map(|v| model.posterior(v)).collect();
+            let delta = if soft.is_empty() {
+                0.0
+            } else {
+                soft.iter()
+                    .zip(&new_soft)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>()
+                    / soft.len() as f64
+            };
+            soft = new_soft;
+            if delta < cfg.tolerance {
+                break;
+            }
+        }
+        (model, soft)
+    }
+}
+
+impl Trainer for EmNaiveBayes {
+    type Model = MultinomialNbModel;
+
+    /// Purely supervised fallback (no unlabeled pool): plain NB.
+    fn fit(&self, data: &Dataset) -> MultinomialNbModel {
+        fit_weighted(data, &[], &[], &self.config)
+    }
+}
+
+impl MultinomialNbModel {
+    /// Build a model from soft (fractional) class counts — the M-step.
+    #[must_use]
+    pub fn from_soft_counts(
+        counts: &[Vec<f64>; 2],
+        totals: &[f64; 2],
+        docs: &[f64; 2],
+        alpha: f64,
+    ) -> Self {
+        let dim = counts[0].len();
+        let n_docs = docs[0] + docs[1];
+        let log_prior = [
+            ((docs[0] + alpha) / (n_docs + 2.0 * alpha)).ln(),
+            ((docs[1] + alpha) / (n_docs + 2.0 * alpha)).ln(),
+        ];
+        let vocab = dim as f64 + 1.0;
+        let mut log_likelihood = [vec![0.0; dim], vec![0.0; dim]];
+        let mut log_unseen = [0.0; 2];
+        for c in 0..2 {
+            let denom = totals[c] + alpha * vocab;
+            for id in 0..dim {
+                log_likelihood[c][id] = ((counts[c][id] + alpha) / denom).ln();
+            }
+            log_unseen[c] = (alpha / denom).ln();
+        }
+        Self::from_parts(log_likelihood, log_prior, log_unseen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Label;
+
+    fn vecf(ids: &[u32]) -> SparseVec {
+        ids.iter().map(|&i| (i, 1.0)).collect()
+    }
+
+    fn labeled() -> Dataset {
+        let mut d = Dataset::new();
+        for _ in 0..5 {
+            d.push(vecf(&[0, 2]), Label::Positive);
+            d.push(vecf(&[1, 3]), Label::Negative);
+        }
+        d
+    }
+
+    #[test]
+    fn supervised_fallback_matches_nb_behaviour() {
+        let m = EmNaiveBayes::new().fit(&labeled());
+        assert!(m.posterior(&vecf(&[0])) > 0.5);
+        assert!(m.posterior(&vecf(&[1])) < 0.5);
+    }
+
+    #[test]
+    fn em_labels_unlabeled_pool() {
+        // Unlabeled pool: positives carry feature 0 plus a *new* feature
+        // 4; EM should propagate the positive label and learn feature 4.
+        let unlabeled: Vec<SparseVec> = (0..20)
+            .map(|i| if i < 10 { vecf(&[0, 4]) } else { vecf(&[1, 5]) })
+            .collect();
+        let (model, soft) = EmNaiveBayes::new().fit_semi(&labeled(), &unlabeled);
+        for (i, &p) in soft.iter().enumerate() {
+            if i < 10 {
+                assert!(p > 0.5, "unlabeled positive {i} got {p}");
+            } else {
+                assert!(p < 0.5, "unlabeled negative {i} got {p}");
+            }
+        }
+        // Feature 4 (never in the labeled data) is now positive evidence.
+        assert!(model.posterior(&vecf(&[4])) > 0.5);
+        assert!(model.posterior(&vecf(&[5])) < 0.5);
+    }
+
+    #[test]
+    fn em_with_empty_unlabeled_pool() {
+        let (m, soft) = EmNaiveBayes::new().fit_semi(&labeled(), &[]);
+        assert!(soft.is_empty());
+        assert!(m.posterior(&vecf(&[0])) > 0.5);
+    }
+
+    #[test]
+    fn unlabeled_downweighting_limits_drift() {
+        // Unlabeled pool contradicts the labels; down-weighted EM should
+        // stay closer to the supervised solution than full-weight EM.
+        let unlabeled: Vec<SparseVec> = (0..50).map(|_| vecf(&[0, 1])).collect();
+        let full = EmNaiveBayes::default();
+        let light = EmNaiveBayes {
+            config: EmConfig {
+                unlabeled_weight: 0.05,
+                ..EmConfig::default()
+            },
+        };
+        let (m_full, _) = full.fit_semi(&labeled(), &unlabeled);
+        let (m_light, _) = light.fit_semi(&labeled(), &unlabeled);
+        let sup = EmNaiveBayes::new().fit(&labeled());
+        let target = sup.posterior(&vecf(&[0]));
+        let d_full = (m_full.posterior(&vecf(&[0])) - target).abs();
+        let d_light = (m_light.posterior(&vecf(&[0])) - target).abs();
+        assert!(d_light <= d_full + 1e-9, "light {d_light} vs full {d_full}");
+    }
+}

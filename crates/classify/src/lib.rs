@@ -1,0 +1,75 @@
+//! # etap-classify — classifiers and noise-tolerant training for ETAP
+//!
+//! §3.3 of the paper frames trigger-event extraction as two-class text
+//! classification and trains naïve Bayes on automatically-generated
+//! *noisy positive* data, de-noised with an iterative re-classification
+//! loop (Brodley & Friedl style). This crate implements:
+//!
+//! * [`nb`] — multinomial and Bernoulli **naïve Bayes** (the paper's
+//!   classifier, via Weka in the original),
+//! * [`logreg`] — **logistic regression** with SGD + L2, including the
+//!   positive/unlabeled class-weighted variant of Lee & Liu \[8\],
+//! * [`svm`] — a **linear SVM** trained with Pegasos (paper cites
+//!   Joachims \[7\] as the SVM alternative),
+//! * [`em`] — **EM naïve Bayes** over labeled + unlabeled data (Nigam
+//!   et al. \[10\]),
+//! * [`denoise`] — the paper's §3.3.2 **iterative noise-reduction
+//!   loop**: train on `Pⁿ ∪ Pᵖ` vs `N`, re-classify `Pⁿ`, keep the
+//!   positives, repeat until the noisy set stabilises,
+//! * [`metrics`] — precision / recall / F1 (the paper's Table 1
+//!   measures), confusion matrices, and k-fold cross-validation.
+//!
+//! All classifiers share the [`Classifier`] trait (posterior probability
+//! of the positive class) so the pipeline and the de-noising loop are
+//! generic over the model family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod denoise;
+pub mod em;
+pub mod logreg;
+pub mod metrics;
+pub mod nb;
+pub mod ranking;
+pub mod rocchio;
+pub mod select_and_train;
+pub mod svm;
+
+pub use data::{Dataset, Label};
+pub use denoise::{DenoiseConfig, DenoiseOutcome, IterativeDenoiser};
+pub use em::{EmConfig, EmNaiveBayes};
+pub use etap_features::SparseVec;
+pub use logreg::{LogRegConfig, LogisticRegression};
+pub use metrics::{ConfusionMatrix, PrecisionRecallF1};
+pub use nb::{BernoulliNb, MultinomialNb, NbConfig};
+pub use ranking::{average_precision, pr_curve, precision_at_k, roc_auc, Scored};
+pub use rocchio::{Rocchio, RocchioModel};
+pub use svm::{LinearSvm, SvmConfig};
+
+/// A trained two-class classifier.
+pub trait Classifier {
+    /// Posterior probability that `v` belongs to the positive class.
+    ///
+    /// Margin-based models (SVM) map their score through a sigmoid so
+    /// that every implementation returns a value in `[0, 1]` usable as
+    /// the paper's ranking score (§4: "the simplest scoring function is
+    /// the posterior probability of the sales-driver class").
+    fn posterior(&self, v: &SparseVec) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn predict(&self, v: &SparseVec) -> bool {
+        self.posterior(v) >= 0.5
+    }
+}
+
+/// A training algorithm producing a [`Classifier`]; the de-noising loop
+/// and the pipeline are generic over this.
+pub trait Trainer {
+    /// The model this trainer produces.
+    type Model: Classifier;
+
+    /// Fit a model on a labeled dataset.
+    fn fit(&self, data: &Dataset) -> Self::Model;
+}

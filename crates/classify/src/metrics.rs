@@ -1,0 +1,234 @@
+//! Evaluation metrics: the paper's Table 1 reports precision, recall and
+//! "the F1 measure … computed as the harmonic mean of the precision and
+//! recall measures" per sales driver.
+
+use crate::data::Dataset;
+use crate::{Classifier, Trainer};
+
+/// Counts of the four outcomes of binary classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Positive predicted positive.
+    pub tp: usize,
+    /// Negative predicted positive.
+    pub fp: usize,
+    /// Positive predicted negative.
+    pub fn_: usize,
+    /// Negative predicted negative.
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Evaluate `model` on a labeled dataset.
+    #[must_use]
+    pub fn evaluate<C: Classifier>(model: &C, data: &Dataset) -> Self {
+        let mut m = ConfusionMatrix::default();
+        for (v, label) in data.iter() {
+            m.record(label.is_positive(), model.predict(v));
+        }
+        m
+    }
+
+    /// Record one (actual, predicted) outcome.
+    pub fn record(&mut self, actual: bool, predicted: bool) {
+        match (actual, predicted) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total examples.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// `TP / (TP + FP)`; 0 when nothing was predicted positive.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// `TP / (TP + FN)`; 0 when there are no actual positives.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Fraction of correct predictions.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// The three Table 1 numbers in one struct.
+    #[must_use]
+    pub fn prf(&self) -> PrecisionRecallF1 {
+        PrecisionRecallF1 {
+            precision: self.precision(),
+            recall: self.recall(),
+            f1: self.f1(),
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Precision / recall / F1 triple, as printed in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecallF1 {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 (harmonic mean).
+    pub f1: f64,
+}
+
+impl std::fmt::Display for PrecisionRecallF1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3}",
+            self.precision, self.recall, self.f1
+        )
+    }
+}
+
+/// k-fold cross-validation: mean P/R/F1 across folds.
+#[must_use]
+pub fn cross_validate<T: Trainer>(trainer: &T, data: &Dataset, k: usize) -> PrecisionRecallF1 {
+    let folds = data.folds(k);
+    let mut sum_p = 0.0;
+    let mut sum_r = 0.0;
+    let mut sum_f = 0.0;
+    let n = folds.len() as f64;
+    for (train, test) in folds {
+        let model = trainer.fit(&train);
+        let m = ConfusionMatrix::evaluate(&model, &test);
+        sum_p += m.precision();
+        sum_r += m.recall();
+        sum_f += m.f1();
+    }
+    PrecisionRecallF1 {
+        precision: sum_p / n,
+        recall: sum_r / n,
+        f1: sum_f / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Label;
+    use crate::nb::MultinomialNb;
+    use etap_features::SparseVec;
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let m = ConfusionMatrix {
+            tp: 50,
+            fp: 0,
+            fn_: 0,
+            tn: 50,
+        };
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn paper_table1_arithmetic() {
+        // Check the F1 formula against the paper's M&A row:
+        // P=0.744, R=0.806 → F1=0.773.
+        let p: f64 = 0.744;
+        let r: f64 = 0.806;
+        let f1 = 2.0 * p * r / (p + r);
+        assert!((f1 - 0.773).abs() < 1e-3, "{f1}");
+    }
+
+    #[test]
+    fn record_and_counts() {
+        let mut m = ConfusionMatrix::default();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, true);
+        m.record(false, false);
+        assert_eq!((m.tp, m.fn_, m.fp, m.tn), (1, 1, 1, 1));
+        assert_eq!(m.total(), 4);
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        assert!((m.f1() - 0.5).abs() < 1e-12);
+    }
+
+    fn vecf(ids: &[u32]) -> SparseVec {
+        ids.iter().map(|&i| (i, 1.0)).collect()
+    }
+
+    #[test]
+    fn evaluate_against_dataset() {
+        let mut train = Dataset::new();
+        for _ in 0..20 {
+            train.push(vecf(&[0]), Label::Positive);
+            train.push(vecf(&[1]), Label::Negative);
+        }
+        let model = MultinomialNb::new().fit(&train);
+        let mut test = Dataset::new();
+        test.push(vecf(&[0]), Label::Positive);
+        test.push(vecf(&[1]), Label::Negative);
+        let m = ConfusionMatrix::evaluate(&model, &test);
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.tn, 1);
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data() {
+        let mut data = Dataset::new();
+        for i in 0..40 {
+            let pos = i % 2 == 0;
+            data.push(vecf(&[u32::from(!pos)]), Label::from(pos));
+        }
+        let prf = cross_validate(&MultinomialNb::new(), &data, 5);
+        assert!(prf.f1 > 0.95, "{prf}");
+    }
+
+    #[test]
+    fn display_format() {
+        let prf = PrecisionRecallF1 {
+            precision: 0.744,
+            recall: 0.806,
+            f1: 0.773,
+        };
+        assert_eq!(prf.to_string(), "P=0.744 R=0.806 F1=0.773");
+    }
+}

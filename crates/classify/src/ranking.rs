@@ -1,0 +1,206 @@
+//! Ranked-retrieval metrics.
+//!
+//! ETAP is consumed as a *ranked list* (§4: trigger events are ranked
+//! "so that snippets with higher confidence values for being trigger
+//! events are ranked higher"), so threshold-free metrics complement the
+//! P/R/F1 of Table 1: ROC-AUC, average precision, and precision@k over
+//! scored examples.
+
+/// A scored example: classifier score plus ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Classifier score (higher = more positive).
+    pub score: f64,
+    /// Ground-truth label.
+    pub positive: bool,
+}
+
+/// Sort scores descending (ties broken stably by input order).
+fn ranked(scored: &[Scored]) -> Vec<Scored> {
+    let mut v = scored.to_vec();
+    v.sort_by(|a, b| b.score.total_cmp(&a.score));
+    v
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) estimator;
+/// ties contribute ½. Returns 0.5 for degenerate inputs (a class is
+/// empty).
+///
+/// ```
+/// use etap_classify::{roc_auc, Scored};
+/// let scored = [
+///     Scored { score: 0.9, positive: true },
+///     Scored { score: 0.1, positive: false },
+/// ];
+/// assert_eq!(roc_auc(&scored), 1.0);
+/// ```
+#[must_use]
+pub fn roc_auc(scored: &[Scored]) -> f64 {
+    let pos: Vec<f64> = scored
+        .iter()
+        .filter(|s| s.positive)
+        .map(|s| s.score)
+        .collect();
+    let neg: Vec<f64> = scored
+        .iter()
+        .filter(|s| !s.positive)
+        .map(|s| s.score)
+        .collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &p in &pos {
+        for &n in &neg {
+            wins += match p.partial_cmp(&n) {
+                Some(std::cmp::Ordering::Greater) => 1.0,
+                Some(std::cmp::Ordering::Equal) => 0.5,
+                _ => 0.0,
+            };
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+/// Average precision: mean of precision@rank over the ranks of the
+/// positive examples (the area under the PR curve, interpolated the
+/// standard way). 0 when there are no positives.
+#[must_use]
+pub fn average_precision(scored: &[Scored]) -> f64 {
+    let v = ranked(scored);
+    let total_pos = v.iter().filter(|s| s.positive).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, s) in v.iter().enumerate() {
+        if s.positive {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_pos as f64
+}
+
+/// Precision among the top `k` scores (0 when `k == 0`).
+#[must_use]
+pub fn precision_at_k(scored: &[Scored], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let v = ranked(scored);
+    let top = &v[..k.min(v.len())];
+    if top.is_empty() {
+        return 0.0;
+    }
+    top.iter().filter(|s| s.positive).count() as f64 / top.len() as f64
+}
+
+/// The full precision/recall curve: for every distinct score threshold,
+/// `(recall, precision)` sorted by ascending recall. Useful for plotting
+/// the trade-off the fixed 0.5 threshold of Table 1 hides.
+#[must_use]
+pub fn pr_curve(scored: &[Scored]) -> Vec<(f64, f64)> {
+    let v = ranked(scored);
+    let total_pos = v.iter().filter(|s| s.positive).count();
+    if total_pos == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut tp = 0usize;
+    for (i, s) in v.iter().enumerate() {
+        if s.positive {
+            tp += 1;
+        }
+        // Emit a point at every rank that ends a score group.
+        let next_same = v.get(i + 1).is_some_and(|n| n.score == s.score);
+        if !next_same {
+            out.push((tp as f64 / total_pos as f64, tp as f64 / (i + 1) as f64));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(score: f64, positive: bool) -> Scored {
+        Scored { score, positive }
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let perfect = [s(0.9, true), s(0.8, true), s(0.2, false), s(0.1, false)];
+        assert_eq!(roc_auc(&perfect), 1.0);
+        let inverted = [s(0.9, false), s(0.8, false), s(0.2, true), s(0.1, true)];
+        assert_eq!(roc_auc(&inverted), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let mixed = [s(0.5, true), s(0.5, false), s(0.5, true), s(0.5, false)];
+        assert!((roc_auc(&mixed) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_inputs() {
+        assert_eq!(roc_auc(&[]), 0.5);
+        assert_eq!(roc_auc(&[s(0.9, true)]), 0.5);
+    }
+
+    #[test]
+    fn average_precision_perfect_ranking() {
+        let perfect = [s(0.9, true), s(0.8, true), s(0.2, false)];
+        assert!((average_precision(&perfect) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Ranks: pos, neg, pos → AP = (1/1 + 2/3) / 2 = 5/6.
+        let v = [s(0.9, true), s(0.8, false), s(0.7, true)];
+        assert!((average_precision(&v) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_k_values() {
+        let v = [s(0.9, true), s(0.8, false), s(0.7, true), s(0.6, false)];
+        assert_eq!(precision_at_k(&v, 1), 1.0);
+        assert_eq!(precision_at_k(&v, 2), 0.5);
+        assert_eq!(precision_at_k(&v, 4), 0.5);
+        assert_eq!(precision_at_k(&v, 10), 0.5); // k beyond list
+        assert_eq!(precision_at_k(&v, 0), 0.0);
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall() {
+        let v = [
+            s(0.9, true),
+            s(0.8, false),
+            s(0.7, true),
+            s(0.6, true),
+            s(0.5, false),
+        ];
+        let curve = pr_curve(&v);
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0, "recall must be non-decreasing");
+        }
+        // Final point reaches full recall.
+        assert!((curve.last().unwrap().0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_groups_ties() {
+        let v = [s(0.9, true), s(0.9, false), s(0.1, true)];
+        let curve = pr_curve(&v);
+        // Two distinct thresholds → two points.
+        assert_eq!(curve.len(), 2);
+    }
+
+    #[test]
+    fn pr_curve_empty_without_positives() {
+        assert!(pr_curve(&[s(0.4, false)]).is_empty());
+    }
+}

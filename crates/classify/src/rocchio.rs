@@ -1,0 +1,217 @@
+//! Rocchio (nearest-centroid) classifier.
+//!
+//! The classic vector-space baseline of the paper's era: each class is
+//! its TF-IDF-weighted centroid; a snippet is scored by the difference
+//! of its cosine similarities to the two centroids. Included as a
+//! further point in the A4 classifier-family ablation — Rocchio is what
+//! most pre-SVM industrial text routers actually ran.
+
+use crate::data::Dataset;
+use crate::{Classifier, Trainer};
+use etap_features::SparseVec;
+
+/// Hyper-parameters for [`Rocchio`].
+#[derive(Debug, Clone, Copy)]
+pub struct RocchioConfig {
+    /// Logistic slope mapping the similarity difference to a posterior.
+    pub link_slope: f64,
+}
+
+impl Default for RocchioConfig {
+    fn default() -> Self {
+        Self { link_slope: 8.0 }
+    }
+}
+
+/// Trainer for [`RocchioModel`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rocchio {
+    /// Hyper-parameters.
+    pub config: RocchioConfig,
+}
+
+impl Rocchio {
+    /// Trainer with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A trained nearest-centroid model.
+#[derive(Debug, Clone)]
+pub struct RocchioModel {
+    /// L2-normalized class centroids `[positive, negative]` (dense).
+    centroids: [Vec<f64>; 2],
+    /// IDF weights per feature.
+    idf: Vec<f64>,
+    link_slope: f64,
+}
+
+impl RocchioModel {
+    /// Cosine similarity difference `sim(v, c⁺) − sim(v, c⁻)`.
+    #[must_use]
+    pub fn margin(&self, v: &SparseVec) -> f64 {
+        let norm: f64 = v
+            .iter()
+            .map(|&(id, c)| {
+                let w = f64::from(c) * self.idf.get(id as usize).copied().unwrap_or(0.0);
+                w * w
+            })
+            .sum::<f64>()
+            .sqrt();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        let sim = |centroid: &[f64]| -> f64 {
+            v.iter()
+                .map(|&(id, c)| {
+                    let w = f64::from(c) * self.idf.get(id as usize).copied().unwrap_or(0.0);
+                    w * centroid.get(id as usize).copied().unwrap_or(0.0)
+                })
+                .sum::<f64>()
+                / norm
+        };
+        sim(&self.centroids[0]) - sim(&self.centroids[1])
+    }
+}
+
+impl Trainer for Rocchio {
+    type Model = RocchioModel;
+
+    fn fit(&self, data: &Dataset) -> RocchioModel {
+        let dim = data.dimension();
+        let n = data.len().max(1) as f64;
+
+        // Document frequencies → IDF.
+        let mut df = vec![0u32; dim];
+        for (v, _) in data.iter() {
+            for &(id, _) in v.iter() {
+                df[id as usize] += 1;
+            }
+        }
+        let idf: Vec<f64> = df
+            .iter()
+            .map(|&d| ((n + 1.0) / (f64::from(d) + 1.0)).ln() + 1.0)
+            .collect();
+
+        // Per-class mean of L2-normalized TF-IDF vectors.
+        let mut centroids = [vec![0.0f64; dim], vec![0.0f64; dim]];
+        let mut counts = [0usize; 2];
+        for (v, label) in data.iter() {
+            let c = usize::from(!label.is_positive());
+            counts[c] += 1;
+            let norm: f64 = v
+                .iter()
+                .map(|&(id, tf)| {
+                    let w = f64::from(tf) * idf[id as usize];
+                    w * w
+                })
+                .sum::<f64>()
+                .sqrt();
+            if norm == 0.0 {
+                continue;
+            }
+            for &(id, tf) in v.iter() {
+                centroids[c][id as usize] += f64::from(tf) * idf[id as usize] / norm;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let scale = 1.0 / counts[c].max(1) as f64;
+            let mut sq = 0.0;
+            for x in centroid.iter_mut() {
+                *x *= scale;
+                sq += *x * *x;
+            }
+            // L2-normalize the centroid so the margin is a cosine diff.
+            let norm = sq.sqrt();
+            if norm > 0.0 {
+                for x in centroid.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+        RocchioModel {
+            centroids,
+            idf,
+            link_slope: self.config.link_slope,
+        }
+    }
+}
+
+impl Classifier for RocchioModel {
+    fn posterior(&self, v: &SparseVec) -> f64 {
+        let z = self.link_slope * self.margin(v);
+        if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Label;
+
+    fn vecf(ids: &[u32]) -> SparseVec {
+        ids.iter().map(|&i| (i, 1.0)).collect()
+    }
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new();
+        for _ in 0..20 {
+            d.push(vecf(&[0, 2]), Label::Positive);
+            d.push(vecf(&[1, 2]), Label::Negative);
+        }
+        d
+    }
+
+    #[test]
+    fn separates_toy_data() {
+        let m = Rocchio::new().fit(&toy());
+        assert!(m.margin(&vecf(&[0])) > 0.0);
+        assert!(m.margin(&vecf(&[1])) < 0.0);
+        assert!(m.posterior(&vecf(&[0, 2])) > 0.5);
+        assert!(m.posterior(&vecf(&[1, 2])) < 0.5);
+    }
+
+    #[test]
+    fn shared_feature_is_neutral() {
+        let m = Rocchio::new().fit(&toy());
+        let margin = m.margin(&vecf(&[2]));
+        assert!(margin.abs() < 0.05, "{margin}");
+    }
+
+    #[test]
+    fn empty_vector_neutral() {
+        let m = Rocchio::new().fit(&toy());
+        assert!((m.posterior(&SparseVec::default()) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_features_neutral() {
+        let m = Rocchio::new().fit(&toy());
+        assert!((m.posterior(&vecf(&[99])) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idf_downweights_common_features() {
+        // Feature 2 occurs everywhere → low idf; the rare class markers
+        // should dominate similarity even with the common feature mixed
+        // in heavily.
+        let m = Rocchio::new().fit(&toy());
+        let mixed: SparseVec = [(0u32, 1.0f32), (2, 5.0)].into_iter().collect();
+        assert!(m.margin(&mixed) > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Rocchio::new().fit(&toy());
+        let b = Rocchio::new().fit(&toy());
+        let probe = vecf(&[0, 1, 2]);
+        assert_eq!(a.margin(&probe), b.margin(&probe));
+    }
+}

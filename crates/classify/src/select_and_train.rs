@@ -1,0 +1,111 @@
+//! Feature selection composed with training (§3.2.1's "top few features
+//! are retained" workflow).
+
+use crate::data::Dataset;
+use crate::nb::{MultinomialNb, MultinomialNbModel};
+use crate::{Classifier, Trainer};
+use etap_features::select::{FeatureStats, SelectionMeasure};
+use etap_features::SparseVec;
+use std::collections::HashSet;
+
+/// A naïve Bayes model trained on a χ²-selected feature subset; input
+/// vectors are projected onto the subset before scoring.
+#[derive(Debug, Clone)]
+pub struct ProjectedNb {
+    keep: HashSet<u32>,
+    model: MultinomialNbModel,
+}
+
+impl ProjectedNb {
+    /// The retained feature ids.
+    #[must_use]
+    pub fn kept(&self) -> &HashSet<u32> {
+        &self.keep
+    }
+
+    /// Posterior on a full-space vector (projected internally).
+    #[must_use]
+    pub fn posterior_vec(&self, v: &SparseVec) -> f64 {
+        let projected: SparseVec = v
+            .iter()
+            .filter(|(id, _)| self.keep.contains(id))
+            .copied()
+            .collect();
+        self.model.posterior(&projected)
+    }
+
+    /// Hard decision at 0.5 on a full-space vector.
+    #[must_use]
+    pub fn predict_vec(&self, v: &SparseVec) -> bool {
+        self.posterior_vec(v) >= 0.5
+    }
+}
+
+/// Select the top-`k` features by χ² over `data`, then train multinomial
+/// NB on the projected dataset.
+#[must_use]
+pub fn chi2_projected_nb(data: &Dataset, k: usize) -> ProjectedNb {
+    let mut stats = FeatureStats::new();
+    for (v, label) in data.iter() {
+        stats.add(v, label.is_positive());
+    }
+    let keep: HashSet<u32> = stats
+        .top_k(k, SelectionMeasure::ChiSquare)
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    let projected = data.project(&keep);
+    let model = MultinomialNb::new().fit(&projected);
+    ProjectedNb { keep, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Label;
+
+    fn vecf(ids: &[u32]) -> SparseVec {
+        ids.iter().map(|&i| (i, 1.0)).collect()
+    }
+
+    /// Features 0/1 are class markers; 10..30 are noise present in both.
+    fn data() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..30u32 {
+            d.push(vecf(&[0, 10 + (i % 20)]), Label::Positive);
+            d.push(vecf(&[1, 10 + ((i + 7) % 20)]), Label::Negative);
+        }
+        d
+    }
+
+    #[test]
+    fn selection_keeps_the_markers() {
+        let m = chi2_projected_nb(&data(), 2);
+        assert!(m.kept().contains(&0));
+        assert!(m.kept().contains(&1));
+        assert_eq!(m.kept().len(), 2);
+    }
+
+    #[test]
+    fn tiny_feature_budget_still_classifies() {
+        let m = chi2_projected_nb(&data(), 2);
+        assert!(m.predict_vec(&vecf(&[0, 12, 15])));
+        assert!(!m.predict_vec(&vecf(&[1, 12, 15])));
+    }
+
+    #[test]
+    fn k_larger_than_vocabulary_is_fine() {
+        let m = chi2_projected_nb(&data(), 10_000);
+        assert!(m.predict_vec(&vecf(&[0])));
+        assert!(!m.predict_vec(&vecf(&[1])));
+    }
+
+    #[test]
+    fn projection_drops_unselected_noise() {
+        let m = chi2_projected_nb(&data(), 2);
+        // A vector of pure noise projects to empty → prior decision,
+        // and the prior here is balanced ≈ 0.5.
+        let p = m.posterior_vec(&vecf(&[13, 14, 15]));
+        assert!((p - 0.5).abs() < 0.05, "{p}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Company-name variation resolution — the paper's §6 future work.
+//!
+//! > *"To determine an overall score of a company based on its trigger
+//! > events, we need to know all the variations to the reference of the
+//! > company. This information is not always available and automated
+//! > methods to determine variations of a company name need to be
+//! > developed."*
+//!
+//! The resolver canonicalizes surface forms so that `IBM Corp.`,
+//! `IBM Corporation` and `IBM` aggregate to one prospect in the Eq. 2
+//! company ranking:
+//!
+//! 1. **normalization** — lowercase, strip punctuation, drop leading
+//!    articles and trailing corporate designators (`Inc`, `Corp`, `Ltd`,
+//!    `Group`, …);
+//! 2. **acronym linking** — a short all-caps mention (`UBS`, `AMD`)
+//!    unifies with a previously seen multi-word name whose initials
+//!    match (`Advanced Micro Devices`);
+//! 3. **prefix linking** — a shortened mention (`Veridian`) unifies
+//!    with a longer registered name that extends it (`Veridian
+//!    Systems`), provided the link is unambiguous.
+
+use std::collections::HashMap;
+
+/// Trailing tokens that are corporate designators, not name content.
+const DESIGNATORS: &[&str] = &[
+    "inc",
+    "corp",
+    "corporation",
+    "co",
+    "company",
+    "ltd",
+    "limited",
+    "plc",
+    "llc",
+    "llp",
+    "ag",
+    "sa",
+    "nv",
+    "gmbh",
+    "group",
+    "holdings",
+    "industries",
+    "international",
+    "worldwide",
+    "enterprises",
+    "bancorp",
+];
+
+/// Canonicalizes company-name variations.
+#[derive(Debug, Default, Clone)]
+pub struct AliasResolver {
+    /// normalized key → canonical display form (first surface seen).
+    canon: HashMap<String, String>,
+    /// acronym → normalized key of the multi-word name it abbreviates.
+    acronyms: HashMap<String, String>,
+}
+
+impl AliasResolver {
+    /// Empty resolver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalize a surface form to its comparison key.
+    #[must_use]
+    pub fn normalize(surface: &str) -> String {
+        let mut words: Vec<String> = etap_text::tokenize(surface)
+            .iter()
+            .filter(|t| t.kind.is_word() || t.kind.is_numeric())
+            .map(etap_text::Token::lower)
+            .collect();
+        if words.first().map(String::as_str) == Some("the") {
+            words.remove(0);
+        }
+        while words.len() > 1 && DESIGNATORS.contains(&words.last().expect("non-empty").as_str()) {
+            words.pop();
+        }
+        words.join(" ")
+    }
+
+    /// Resolve a surface form to its canonical display name, registering
+    /// it if unseen. Subsequent variations of the same company resolve
+    /// to the first-seen display form.
+    ///
+    /// ```
+    /// use etap::AliasResolver;
+    /// let mut r = AliasResolver::new();
+    /// let canon = r.canonicalize("IBM");
+    /// assert_eq!(r.canonicalize("IBM Corp."), canon);
+    /// assert_eq!(r.canonicalize("The IBM Company"), canon);
+    /// ```
+    pub fn canonicalize(&mut self, surface: &str) -> String {
+        let key = Self::normalize(surface);
+        if key.is_empty() {
+            return surface.to_string();
+        }
+
+        // Exact normalized match.
+        if let Some(display) = self.canon.get(&key) {
+            return display.clone();
+        }
+
+        // Acronym: single short token, previously registered initials.
+        if !key.contains(' ') && key.len() <= 5 {
+            if let Some(target) = self.acronyms.get(&key) {
+                if let Some(display) = self.canon.get(target) {
+                    return display.clone();
+                }
+            }
+        }
+
+        // Prefix link: "veridian" → unique registered "veridian systems".
+        if !key.contains(' ') {
+            let mut matches = self
+                .canon
+                .keys()
+                .filter(|k| k.starts_with(&key) && k[key.len()..].starts_with(' '));
+            if let (Some(only), None) = (matches.next(), matches.next()) {
+                let display = self.canon[only].clone();
+                return display;
+            }
+        }
+        // Reverse prefix: registering the LONG form after the short one
+        // ("Veridian" seen, now "Veridian Systems") — unify onto the
+        // existing short entry.
+        if key.contains(' ') {
+            let first = key.split(' ').next().expect("non-empty");
+            if let Some(display) = self.canon.get(first).cloned() {
+                // Long form inherits the earlier mention's display name;
+                // also register the long key for exact future hits.
+                self.register(&key, display.clone(), surface);
+                return display;
+            }
+        }
+
+        // New company: register surface as the canonical display.
+        let display = surface.trim().to_string();
+        self.register(&key, display.clone(), surface);
+        display
+    }
+
+    fn register(&mut self, key: &str, display: String, _surface: &str) {
+        // Acronym index for multi-word names.
+        if key.contains(' ') {
+            let acro: String = key.split(' ').filter_map(|w| w.chars().next()).collect();
+            if acro.len() >= 2 {
+                self.acronyms.entry(acro).or_insert_with(|| key.to_string());
+            }
+        }
+        self.canon.insert(key.to_string(), display);
+    }
+
+    /// Number of distinct canonical companies seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let mut displays: Vec<&String> = self.canon.values().collect();
+        displays.sort_unstable();
+        displays.dedup();
+        displays.len()
+    }
+
+    /// True when no names have been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.canon.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_strips_designators_and_articles() {
+        assert_eq!(AliasResolver::normalize("IBM Corp."), "ibm");
+        assert_eq!(AliasResolver::normalize("The Acme Group"), "acme");
+        assert_eq!(
+            AliasResolver::normalize("Veridian Systems Inc."),
+            "veridian systems"
+        );
+        assert_eq!(
+            AliasResolver::normalize("Tata Consultancy"),
+            "tata consultancy"
+        );
+        // A lone designator is kept (nothing else identifies the name).
+        assert_eq!(AliasResolver::normalize("Group"), "group");
+    }
+
+    #[test]
+    fn variations_unify() {
+        let mut r = AliasResolver::new();
+        let a = r.canonicalize("IBM");
+        assert_eq!(r.canonicalize("IBM Corp."), a);
+        assert_eq!(r.canonicalize("IBM Corporation"), a);
+        assert_eq!(r.canonicalize("The IBM Company"), a);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn acronyms_link_to_full_names() {
+        let mut r = AliasResolver::new();
+        let full = r.canonicalize("Advanced Micro Devices");
+        assert_eq!(r.canonicalize("AMD"), full);
+    }
+
+    #[test]
+    fn short_mention_links_to_unique_long_form() {
+        let mut r = AliasResolver::new();
+        let full = r.canonicalize("Veridian Systems");
+        assert_eq!(r.canonicalize("Veridian"), full);
+    }
+
+    #[test]
+    fn long_form_after_short_unifies() {
+        let mut r = AliasResolver::new();
+        let short = r.canonicalize("Veridian");
+        assert_eq!(r.canonicalize("Veridian Systems Inc."), short);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_prefix_does_not_link() {
+        let mut r = AliasResolver::new();
+        let a = r.canonicalize("Veridian Systems");
+        let b = r.canonicalize("Veridian Networks");
+        assert_ne!(a, b);
+        // "Veridian" alone is ambiguous → becomes its own entry.
+        let c = r.canonicalize("Veridian");
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn distinct_companies_stay_distinct() {
+        let mut r = AliasResolver::new();
+        let a = r.canonicalize("Oracle");
+        let b = r.canonicalize("Microsoft");
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_junk_surfaces() {
+        let mut r = AliasResolver::new();
+        assert_eq!(r.canonicalize("..."), "...");
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Near-duplicate trigger-event suppression.
+//!
+//! Real business news is heavily syndicated: one press release appears
+//! on dozens of portals with trivial edits, and a naive ETAP would page
+//! the sales team once per copy. Exact-string dedup misses these; this
+//! module detects *near*-duplicates with the classic w-shingling +
+//! Jaccard-resemblance technique (Broder): a snippet is reduced to its
+//! set of word 3-shingles, and two snippets are duplicates when the
+//! resemblance `|A∩B| / |A∪B|` exceeds a threshold.
+//!
+//! [`EventDeduper`] keeps the first-seen representative of every
+//! near-duplicate cluster — the behaviour an alert queue wants.
+
+use crate::events::TriggerEvent;
+use etap_text::tokenize;
+use std::collections::HashSet;
+
+/// Word-shingle set of a text (lowercased, `w` words per shingle,
+/// hashed to u64 to keep the sets cheap).
+fn shingles(text: &str, w: usize) -> HashSet<u64> {
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let words: Vec<String> = tokenize(text)
+        .iter()
+        .filter(|t| t.kind.is_word() || t.kind.is_numeric())
+        .map(etap_text::Token::lower)
+        .collect();
+    let mut out = HashSet::new();
+    if words.is_empty() {
+        return out;
+    }
+    let w = w.max(1);
+    if words.len() <= w {
+        let mut h = DefaultHasher::new();
+        words.hash(&mut h);
+        out.insert(h.finish());
+        return out;
+    }
+    for window in words.windows(w) {
+        let mut h = DefaultHasher::new();
+        window.hash(&mut h);
+        out.insert(h.finish());
+    }
+    out
+}
+
+/// Jaccard resemblance of two shingle sets (0 when either is empty).
+fn resemblance(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Streaming near-duplicate filter over trigger events.
+///
+/// ```
+/// use etap::dedup::EventDeduper;
+/// let mut d = EventDeduper::new(0.6);
+/// assert!(d.is_new("IBM agreed to buy Daksh for $160 million on Monday."));
+/// // A syndicated copy with a trivial edit is suppressed…
+/// assert!(!d.is_new("IBM agreed to buy Daksh for $160 million on Tuesday."));
+/// // …a genuinely different event is not.
+/// assert!(d.is_new("Oracle named Jane Roe as its new CEO."));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventDeduper {
+    seen: Vec<HashSet<u64>>,
+    threshold: f64,
+    shingle_w: usize,
+}
+
+impl EventDeduper {
+    /// Deduper with the given resemblance threshold (0.5–0.8 are
+    /// sensible; higher = stricter = fewer suppressions).
+    #[must_use]
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            seen: Vec::new(),
+            threshold: threshold.clamp(0.0, 1.0),
+            shingle_w: 3,
+        }
+    }
+
+    /// Number of distinct representatives retained.
+    #[must_use]
+    pub fn clusters(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Check a snippet text: `true` (and remember it) when it is not a
+    /// near-duplicate of anything seen before.
+    pub fn is_new(&mut self, text: &str) -> bool {
+        let sh = shingles(text, self.shingle_w);
+        if sh.is_empty() {
+            return false;
+        }
+        if self
+            .seen
+            .iter()
+            .any(|prev| resemblance(prev, &sh) >= self.threshold)
+        {
+            return false;
+        }
+        self.seen.push(sh);
+        true
+    }
+
+    /// Filter a batch of events, keeping the first representative of
+    /// every near-duplicate cluster (events should arrive best-first if
+    /// the kept copy should be the best-scoring one).
+    pub fn dedup_events(&mut self, events: Vec<TriggerEvent>) -> Vec<TriggerEvent> {
+        events
+            .into_iter()
+            .filter(|e| self.is_new(&e.snippet))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_duplicates_suppressed() {
+        let mut d = EventDeduper::new(0.6);
+        let t = "IBM agreed to buy Daksh for $160 million.";
+        assert!(d.is_new(t));
+        assert!(!d.is_new(t));
+        assert_eq!(d.clusters(), 1);
+    }
+
+    #[test]
+    fn light_edits_suppressed() {
+        let mut d = EventDeduper::new(0.5);
+        assert!(d.is_new(
+            "IBM announced that it will acquire Daksh for $160 million, the companies said."
+        ));
+        assert!(!d.is_new(
+            "IBM announced on Monday that it will acquire Daksh for $160 million, the companies said."
+        ));
+    }
+
+    #[test]
+    fn different_events_kept() {
+        let mut d = EventDeduper::new(0.5);
+        assert!(d.is_new("IBM agreed to buy Daksh for $160 million."));
+        assert!(d.is_new("Oracle named Jane Roe as its new CEO on Monday."));
+        assert!(d.is_new("Intel posted record revenue of $8 billion for fiscal 2005."));
+        assert_eq!(d.clusters(), 3);
+    }
+
+    #[test]
+    fn same_template_different_entities_kept() {
+        // Two distinct deals phrased identically must both alert.
+        let mut d = EventDeduper::new(0.6);
+        assert!(d.is_new("Acme Corp agreed to buy Zenlith Inc in a deal valued at $200 million."));
+        assert!(d.is_new("Bolt Corp agreed to buy Quorum Inc in a deal valued at $900 million."));
+    }
+
+    #[test]
+    fn empty_text_never_new() {
+        let mut d = EventDeduper::new(0.5);
+        assert!(!d.is_new(""));
+        assert!(!d.is_new("   "));
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        // Threshold 0: everything after the first is a duplicate.
+        let mut all = EventDeduper::new(0.0);
+        assert!(all.is_new("alpha beta gamma delta"));
+        assert!(!all.is_new("entirely different words here now"));
+        // Threshold 1: only exact shingle-set matches suppress.
+        let mut none = EventDeduper::new(1.0);
+        assert!(none.is_new("alpha beta gamma delta"));
+        assert!(none.is_new("alpha beta gamma delta epsilon"));
+        assert!(!none.is_new("alpha beta gamma delta"));
+    }
+
+    #[test]
+    fn resemblance_math() {
+        let a = shingles("one two three four five", 3);
+        let b = shingles("one two three four five", 3);
+        assert!((resemblance(&a, &b) - 1.0).abs() < 1e-12);
+        let c = shingles("six seven eight nine ten", 3);
+        assert_eq!(resemblance(&a, &c), 0.0);
+    }
+}

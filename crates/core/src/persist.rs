@@ -1,0 +1,297 @@
+//! Model persistence: save and load trained per-driver classifiers.
+//!
+//! A production ETAP trains offline and scores a live crawl; the trained
+//! artifacts (feature vocabulary, abstraction policy, naïve-Bayes
+//! parameters) must round-trip through disk. The format is a simple
+//! line-oriented text file — versioned, diff-able, and free of external
+//! dependencies:
+//!
+//! ```text
+//! ETAP-MODEL v1
+//! driver <id>
+//! policy-entity <TAG> <Abstract|Instance|Drop>   ×13
+//! policy-pos <tag> <Abstract|Instance|Drop>      ×13
+//! bigrams <true|false>
+//! prior <log_p_pos> <log_p_neg>
+//! unseen <log_u_pos> <log_u_neg>
+//! features <n>
+//! <term-with-possible-spaces>\t<ll_pos>\t<ll_neg> ×n   (id = line order)
+//! ```
+
+use crate::spec::DriverSpec;
+use crate::training::{TrainedDriver, TrainingReport};
+use etap_annotate::{EntityCategory, PosTag};
+use etap_classify::nb::MultinomialNbModel;
+use etap_corpus::SalesDriver;
+use etap_features::{AbstractionPolicy, CategoryChoice, Vectorizer};
+use etap_text::Vocabulary;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+
+/// Serialize a trained driver to the v1 text format.
+#[must_use]
+pub fn to_string(trained: &TrainedDriver) -> String {
+    let vocab = trained.vectorizer.vocabulary();
+    let policy = trained.vectorizer.policy();
+    let (ll, prior, unseen) = trained.model.parts();
+
+    let mut out = String::with_capacity(vocab.len() * 48 + 1024);
+    out.push_str("ETAP-MODEL v1\n");
+    let _ = writeln!(out, "driver {}", trained.spec.driver.id());
+    for cat in EntityCategory::ALL {
+        let _ = writeln!(
+            out,
+            "policy-entity {} {}",
+            cat.tag(),
+            choice_name(policy.entity_choice(cat))
+        );
+    }
+    for tag in PosTag::ALL {
+        let _ = writeln!(
+            out,
+            "policy-pos {} {}",
+            tag.tag(),
+            choice_name(policy.pos_choice(tag))
+        );
+    }
+    let _ = writeln!(out, "bigrams {}", trained.vectorizer.has_bigrams());
+    let _ = writeln!(out, "prior {} {}", prior[0], prior[1]);
+    let _ = writeln!(out, "unseen {} {}", unseen[0], unseen[1]);
+    let _ = writeln!(out, "features {}", vocab.len());
+    for (id, term) in vocab.iter() {
+        let i = id as usize;
+        let lp = ll[0].get(i).copied().unwrap_or(unseen[0]);
+        let ln = ll[1].get(i).copied().unwrap_or(unseen[1]);
+        let _ = writeln!(out, "{term}\t{lp}\t{ln}");
+    }
+    out
+}
+
+/// Save a trained driver to a file.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save(trained: &TrainedDriver, path: &Path) -> io::Result<()> {
+    std::fs::write(path, to_string(trained))
+}
+
+/// Parse the v1 text format back into a [`TrainedDriver`]. The driver's
+/// spec is re-created from the built-in registry (specs are code, not
+/// data); the training report is zeroed (it described the original run).
+///
+/// # Errors
+/// Returns `InvalidData` on any malformed line.
+pub fn from_str(text: &str) -> io::Result<TrainedDriver> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut lines = text.lines();
+    if lines.next() != Some("ETAP-MODEL v1") {
+        return Err(bad("missing ETAP-MODEL v1 header"));
+    }
+    let driver_line = lines.next().ok_or_else(|| bad("missing driver line"))?;
+    let driver_id = driver_line
+        .strip_prefix("driver ")
+        .ok_or_else(|| bad("malformed driver line"))?;
+    let driver =
+        SalesDriver::from_str(driver_id).map_err(|e| bad(&format!("unknown driver: {e}")))?;
+
+    let mut policy = AbstractionPolicy::paper_default();
+    let mut prior = [0.0f64; 2];
+    let mut unseen = [0.0f64; 2];
+    let mut n_features = 0usize;
+    let mut bigrams = false;
+    for line in lines.by_ref() {
+        if let Some(rest) = line.strip_prefix("policy-entity ") {
+            let (tag, choice) = split2(rest).ok_or_else(|| bad("malformed policy-entity"))?;
+            let cat: EntityCategory = tag.parse().map_err(|_| bad("unknown entity tag"))?;
+            policy.set_entity(cat, parse_choice(choice).ok_or_else(|| bad("bad choice"))?);
+        } else if let Some(rest) = line.strip_prefix("policy-pos ") {
+            let (tag, choice) = split2(rest).ok_or_else(|| bad("malformed policy-pos"))?;
+            let pos = PosTag::ALL
+                .iter()
+                .copied()
+                .find(|t| t.tag() == tag)
+                .ok_or_else(|| bad("unknown pos tag"))?;
+            policy.set_pos(pos, parse_choice(choice).ok_or_else(|| bad("bad choice"))?);
+        } else if let Some(rest) = line.strip_prefix("bigrams ") {
+            bigrams = rest == "true";
+        } else if let Some(rest) = line.strip_prefix("prior ") {
+            prior = parse_pair(rest).ok_or_else(|| bad("malformed prior"))?;
+        } else if let Some(rest) = line.strip_prefix("unseen ") {
+            unseen = parse_pair(rest).ok_or_else(|| bad("malformed unseen"))?;
+        } else if let Some(rest) = line.strip_prefix("features ") {
+            n_features = rest.parse().map_err(|_| bad("malformed features count"))?;
+            break;
+        } else {
+            return Err(bad(&format!("unexpected line: {line:?}")));
+        }
+    }
+
+    let mut vocab = Vocabulary::with_capacity(n_features);
+    let mut ll = [
+        Vec::with_capacity(n_features),
+        Vec::with_capacity(n_features),
+    ];
+    for line in lines {
+        let mut parts = line.split('\t');
+        let term = parts.next().ok_or_else(|| bad("missing term"))?;
+        let lp: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("missing positive likelihood"))?;
+        let ln: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("missing negative likelihood"))?;
+        vocab.intern(term);
+        ll[0].push(lp);
+        ll[1].push(ln);
+    }
+    if vocab.len() != n_features {
+        return Err(bad(&format!(
+            "feature count mismatch: header says {n_features}, file has {}",
+            vocab.len()
+        )));
+    }
+
+    Ok(TrainedDriver {
+        spec: DriverSpec::builtin(driver),
+        vectorizer: Vectorizer::from_parts(policy, vocab, bigrams),
+        model: MultinomialNbModel::from_parts(ll, prior, unseen),
+        report: TrainingReport {
+            docs_fetched: 0,
+            snippets_considered: 0,
+            noisy_positives: 0,
+            retained_positives: 0,
+            iterations: 0,
+        },
+    })
+}
+
+/// Load a trained driver from a file.
+///
+/// # Errors
+/// Propagates filesystem errors and format errors.
+pub fn load(path: &Path) -> io::Result<TrainedDriver> {
+    from_str(&std::fs::read_to_string(path)?)
+}
+
+fn choice_name(c: CategoryChoice) -> &'static str {
+    match c {
+        CategoryChoice::Abstract => "Abstract",
+        CategoryChoice::Instance => "Instance",
+        CategoryChoice::Drop => "Drop",
+    }
+}
+
+fn parse_choice(s: &str) -> Option<CategoryChoice> {
+    match s {
+        "Abstract" => Some(CategoryChoice::Abstract),
+        "Instance" => Some(CategoryChoice::Instance),
+        "Drop" => Some(CategoryChoice::Drop),
+        _ => None,
+    }
+}
+
+fn split2(s: &str) -> Option<(&str, &str)> {
+    let mut it = s.splitn(2, ' ');
+    Some((it.next()?, it.next()?))
+}
+
+fn parse_pair(s: &str) -> Option<[f64; 2]> {
+    let (a, b) = split2(s)?;
+    Some([a.parse().ok()?, b.parse().ok()?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train_driver, TrainingConfig};
+    use etap_annotate::Annotator;
+    use etap_corpus::{SearchEngine, SyntheticWeb, WebConfig};
+
+    fn quick_trained() -> TrainedDriver {
+        let web = SyntheticWeb::generate(WebConfig {
+            total_docs: 500,
+            ..WebConfig::default()
+        });
+        let engine = SearchEngine::build(web.docs());
+        let annotator = Annotator::new();
+        let config = TrainingConfig {
+            top_docs_per_query: 40,
+            negative_snippets: 500,
+            pure_positives: 10,
+            ..TrainingConfig::default()
+        };
+        let spec = DriverSpec::builtin(SalesDriver::ChangeInManagement);
+        train_driver(&spec, &engine, &web, &annotator, &config, |_| false)
+    }
+
+    #[test]
+    fn roundtrip_preserves_scores() {
+        let trained = quick_trained();
+        let text = to_string(&trained);
+        let restored = from_str(&text).expect("parse back");
+        assert_eq!(restored.spec.driver, SalesDriver::ChangeInManagement);
+
+        let annotator = Annotator::new();
+        for probe in [
+            "Acme Corp named Jane Roe as its new CEO on Monday.",
+            "Heavy rain is expected across the region this weekend.",
+            "IBM acquired Daksh for $160 million.",
+        ] {
+            let ann = annotator.annotate(probe);
+            let a = trained.score(&ann);
+            let b = restored.score(&ann);
+            assert!((a - b).abs() < 1e-9, "{probe}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trained = quick_trained();
+        let path = std::env::temp_dir().join("etap_persist_test.model");
+        save(&trained, &path).expect("save");
+        let restored = load(&path).expect("load");
+        let annotator = Annotator::new();
+        let ann = annotator.annotate("Oracle appointed James Wilson CTO, effective immediately.");
+        assert!((trained.score(&ann) - restored.score(&ann)).abs() < 1e-9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        assert!(from_str("BOGUS v9\n").is_err());
+        assert!(from_str("").is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let trained = quick_trained();
+        let text = to_string(&trained);
+        // Chop off the last 30 lines.
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count().saturating_sub(30))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(from_str(&truncated).is_err());
+    }
+
+    #[test]
+    fn terms_with_spaces_survive() {
+        let trained = quick_trained();
+        let vocab = trained.vectorizer.vocabulary();
+        // The harvest reliably interns multi-word feature names only in
+        // instance mode; at minimum the format must not corrupt the
+        // vocabulary order.
+        let text = to_string(&trained);
+        let restored = from_str(&text).expect("parse");
+        let rv = restored.vectorizer.vocabulary();
+        assert_eq!(vocab.len(), rv.len());
+        for (id, term) in vocab.iter() {
+            assert_eq!(rv.term(id), Some(term));
+        }
+    }
+}

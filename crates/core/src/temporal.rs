@@ -1,0 +1,364 @@
+//! Temporal resolution and recency scoring — the paper's §6 future work.
+//!
+//! > *"For a trigger event to be useful, it should belong to a relevant
+//! > time period. We need to associate a time with each trigger event to
+//! > evaluate its relevance. This is not always easy and methods need to
+//! > be developed to resolve phrases such as 'last year' and 'previous
+//! > quarter'."*
+//!
+//! This module implements exactly that: a resolver that maps the
+//! PERIOD/YEAR expressions the NER finds to absolute dates (relative
+//! phrases are resolved against the document's publication date), plus
+//! a recency score that lets the ranking component discount historical
+//! events — the biography problem of §5.2 ("Mr. Andersen was the CEO of
+//! XYZ Inc. from 1980-1985") becomes detectable once "1980" resolves to
+//! a date twenty years before the article.
+
+use etap_annotate::{AnnotatedSnippet, EntityCategory};
+use etap_text::tokenize;
+
+/// A calendar date (proleptic-Gregorian-ish; arithmetic is approximate
+/// at the month scale, which is all recency scoring needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Four-digit year.
+    pub year: u16,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day, 1–31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date; clamps month/day into their legal ranges.
+    #[must_use]
+    pub fn new(year: u16, month: u8, day: u8) -> Self {
+        Self {
+            year,
+            month: month.clamp(1, 12),
+            day: day.clamp(1, 31),
+        }
+    }
+
+    /// Approximate day count since year 0 (months are 30.44 days): only
+    /// *differences* between dates are meaningful.
+    #[must_use]
+    fn ordinal(self) -> f64 {
+        f64::from(self.year) * 365.25 + (f64::from(self.month) - 1.0) * 30.44 + f64::from(self.day)
+    }
+
+    /// Signed days from `other` to `self` (positive = self is later).
+    #[must_use]
+    pub fn days_since(self, other: Date) -> f64 {
+        self.ordinal() - other.ordinal()
+    }
+}
+
+impl From<(u16, u8, u8)> for Date {
+    fn from((y, m, d): (u16, u8, u8)) -> Self {
+        Date::new(y, m, d)
+    }
+}
+
+const MONTHS: [&str; 12] = [
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+];
+
+/// Resolves time expressions to absolute dates.
+#[derive(Debug, Default, Clone)]
+pub struct TemporalResolver {
+    _private: (),
+}
+
+impl TemporalResolver {
+    /// A resolver with the built-in rules.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve one time phrase against a reference date. Returns the
+    /// (approximate midpoint) date the phrase denotes, or `None` when
+    /// the phrase carries no resolvable calendar information (weekday
+    /// names resolve to the reference date itself).
+    ///
+    /// ```
+    /// use etap::temporal::{Date, TemporalResolver};
+    /// let r = TemporalResolver::new();
+    /// let today = Date::new(2005, 6, 15);
+    /// assert_eq!(r.resolve("April 12, 2004", today), Some(Date::new(2004, 4, 12)));
+    /// assert_eq!(r.resolve("last year", today).unwrap().year, 2004);
+    /// assert_eq!(r.resolve("someday", today), None);
+    /// ```
+    #[must_use]
+    pub fn resolve(&self, phrase: &str, reference: Date) -> Option<Date> {
+        let tokens: Vec<String> = tokenize(phrase)
+            .iter()
+            .map(etap_text::Token::lower)
+            .collect();
+        if tokens.is_empty() {
+            return None;
+        }
+
+        // Absolute forms: "april 12 , 2004" / "april 2004" / "april 12" /
+        // "april" / "1996" / "fiscal 2005".
+        if let Some(month) = MONTHS.iter().position(|m| *m == tokens[0]) {
+            let month = (month + 1) as u8;
+            let mut day = 15u8; // mid-month when no day given
+            let mut year = reference.year;
+            let mut idx = 1;
+            if let Some(t) = tokens.get(idx) {
+                if let Ok(d) = t.parse::<u8>() {
+                    if (1..=31).contains(&d) {
+                        day = d;
+                        idx += 1;
+                    }
+                }
+            }
+            if tokens.get(idx).map(String::as_str) == Some(",") {
+                idx += 1;
+            }
+            if let Some(t) = tokens.get(idx) {
+                if let Some(y) = parse_year(t) {
+                    year = y;
+                }
+            } else if let Some(t) = tokens.get(1) {
+                if let Some(y) = parse_year(t) {
+                    year = y;
+                    day = 15;
+                }
+            }
+            return Some(Date::new(year, month, day));
+        }
+        if let Some(y) = parse_year(&tokens[0]) {
+            return Some(Date::new(y, 7, 1)); // mid-year
+        }
+        if tokens[0] == "fiscal" {
+            if let Some(y) = tokens.get(1).and_then(|t| parse_year(t)) {
+                return Some(Date::new(y, 7, 1));
+            }
+        }
+
+        // Relative forms, resolved against the reference.
+        let joined = tokens.join(" ");
+        let shift_days: Option<f64> = match joined.as_str() {
+            "today" => Some(0.0),
+            "yesterday" => Some(-1.0),
+            "tomorrow" => Some(1.0),
+            "this week" => Some(0.0),
+            "last week" => Some(-7.0),
+            "next week" => Some(7.0),
+            "this month" => Some(0.0),
+            "last month" | "previous month" => Some(-30.0),
+            "next month" => Some(30.0),
+            "this quarter" | "current quarter" => Some(0.0),
+            "last quarter" | "previous quarter" => Some(-91.0),
+            "next quarter" => Some(91.0),
+            "this year" | "current year" => Some(0.0),
+            "last year" | "previous year" => Some(-365.0),
+            "next year" => Some(365.0),
+            "last decade" => Some(-3652.0),
+            _ => None,
+        };
+        if let Some(days) = shift_days {
+            return Some(shift(reference, days));
+        }
+
+        // Ordinal quarters: "first quarter" … "fourth quarter" of the
+        // reference year.
+        if tokens.len() == 2 && tokens[1] == "quarter" {
+            let q = match tokens[0].as_str() {
+                "first" => Some(1u8),
+                "second" => Some(2),
+                "third" => Some(3),
+                "fourth" => Some(4),
+                _ => None,
+            };
+            if let Some(q) = q {
+                return Some(Date::new(reference.year, q * 3 - 1, 15));
+            }
+        }
+
+        // Weekday names denote the current news cycle.
+        if matches!(
+            tokens[0].as_str(),
+            "monday" | "tuesday" | "wednesday" | "thursday" | "friday" | "saturday" | "sunday"
+        ) {
+            return Some(reference);
+        }
+        None
+    }
+
+    /// Resolve every YEAR/PERIOD entity of an annotated snippet; returns
+    /// resolved dates in document order.
+    #[must_use]
+    pub fn resolve_snippet(&self, snip: &AnnotatedSnippet, reference: Date) -> Vec<Date> {
+        snip.entities
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.category, EntityCategory::Year | EntityCategory::Period))
+            .filter_map(|(ei, _)| self.resolve(&snip.entity_text(ei), reference))
+            .collect()
+    }
+
+    /// Recency score in `(0, 1]` for a snippet published at `reference`:
+    /// 1.0 when the snippet mentions no resolvable past date; otherwise
+    /// exponential decay in the age of the *oldest* mentioned date with
+    /// the given half-life (days). Future dates ("later this year") do
+    /// not penalize.
+    ///
+    /// The oldest date drives the score because historical retrospectives
+    /// are exactly the §5.2 failure mode: one old year amid fresh text is
+    /// the biography signature.
+    #[must_use]
+    pub fn recency_score(
+        &self,
+        snip: &AnnotatedSnippet,
+        reference: Date,
+        half_life_days: f64,
+    ) -> f64 {
+        let dates = self.resolve_snippet(snip, reference);
+        let oldest_age = dates
+            .iter()
+            .map(|d| reference.days_since(*d))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !oldest_age.is_finite() || oldest_age <= 0.0 {
+            return 1.0;
+        }
+        0.5f64.powf(oldest_age / half_life_days.max(1.0))
+    }
+}
+
+fn parse_year(t: &str) -> Option<u16> {
+    if t.len() == 4 && t.chars().all(|c| c.is_ascii_digit()) {
+        let y: u16 = t.parse().ok()?;
+        if (1900..2100).contains(&y) {
+            return Some(y);
+        }
+    }
+    None
+}
+
+fn shift(d: Date, days: f64) -> Date {
+    if days == 0.0 {
+        return d; // exact: the approximate ordinal must not drift "today"
+    }
+    // Convert the approximate ordinal back to (y, m, d).
+    let target = d.ordinal() + days;
+    let year = (target / 365.25).floor();
+    let rem = target - year * 365.25;
+    let month = (rem / 30.44).floor().clamp(0.0, 11.0);
+    let day = (rem - month * 30.44).clamp(1.0, 28.0);
+    Date::new(year as u16, month as u8 + 1, day as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etap_annotate::Annotator;
+
+    const REF: Date = Date {
+        year: 2005,
+        month: 6,
+        day: 15,
+    };
+
+    fn r() -> TemporalResolver {
+        TemporalResolver::new()
+    }
+
+    #[test]
+    fn absolute_dates() {
+        assert_eq!(
+            r().resolve("April 12, 2004", REF),
+            Some(Date::new(2004, 4, 12))
+        );
+        assert_eq!(r().resolve("April 2004", REF), Some(Date::new(2004, 4, 15)));
+        assert_eq!(r().resolve("April 12", REF), Some(Date::new(2005, 4, 12)));
+        assert_eq!(r().resolve("1996", REF), Some(Date::new(1996, 7, 1)));
+        assert_eq!(r().resolve("fiscal 2005", REF), Some(Date::new(2005, 7, 1)));
+    }
+
+    #[test]
+    fn relative_phrases() {
+        let last_year = r().resolve("last year", REF).unwrap();
+        assert_eq!(last_year.year, 2004);
+        let prev_q = r().resolve("previous quarter", REF).unwrap();
+        assert!(REF.days_since(prev_q) > 60.0 && REF.days_since(prev_q) < 120.0);
+        assert_eq!(r().resolve("today", REF), Some(REF));
+        let next_year = r().resolve("next year", REF).unwrap();
+        assert_eq!(next_year.year, 2006);
+    }
+
+    #[test]
+    fn quarters_and_weekdays() {
+        let q4 = r().resolve("fourth quarter", REF).unwrap();
+        assert_eq!((q4.year, q4.month), (2005, 11));
+        assert_eq!(r().resolve("Monday", REF), Some(REF));
+    }
+
+    #[test]
+    fn unresolvable() {
+        assert_eq!(r().resolve("someday", REF), None);
+        assert_eq!(r().resolve("", REF), None);
+        assert_eq!(r().resolve("2525", REF), None); // out of range
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let a = Date::new(2005, 6, 15);
+        let b = Date::new(2004, 6, 15);
+        let diff = a.days_since(b);
+        assert!((diff - 365.25).abs() < 1.0, "{diff}");
+        assert!(a > b);
+    }
+
+    #[test]
+    fn snippet_resolution_and_recency() {
+        let ann = Annotator::new();
+        let resolver = r();
+
+        // Fresh appointment: no past date → full score.
+        let fresh = ann.annotate("Acme Corp named Jane Roe as its new CEO on Monday.");
+        assert_eq!(resolver.recency_score(&fresh, REF, 365.0), 1.0);
+
+        // Biography: mentions 1989 → heavy decay.
+        let bio = ann.annotate("Mr. Andersen was the CEO of XYZ Inc. from 1989 to 1992.");
+        let dates = resolver.resolve_snippet(&bio, REF);
+        assert!(!dates.is_empty(), "{bio:?}");
+        let score = resolver.recency_score(&bio, REF, 365.0);
+        assert!(score < 0.01, "{score}");
+    }
+
+    #[test]
+    fn future_dates_do_not_penalize() {
+        let ann = Annotator::new();
+        let snip = ann.annotate("The merger will close in fiscal 2006, executives said.");
+        let score = TemporalResolver::new().recency_score(&snip, REF, 365.0);
+        assert_eq!(score, 1.0);
+    }
+
+    #[test]
+    fn recency_half_life_semantics() {
+        let ann = Annotator::new();
+        let snip = ann.annotate("Revenue peaked in June 2004 before the slump.");
+        let resolver = r();
+        // ~365 days old with a 365-day half-life → ≈ 0.5.
+        let s = resolver.recency_score(&snip, REF, 365.0);
+        assert!((s - 0.5).abs() < 0.1, "{s}");
+        // Longer half-life → milder decay.
+        let s2 = resolver.recency_score(&snip, REF, 3650.0);
+        assert!(s2 > 0.9, "{s2}");
+    }
+}

@@ -1,0 +1,469 @@
+//! Training-data generation and classifier training (§3.3).
+//!
+//! The flow per sales driver:
+//!
+//! 1. **Smart-query harvest** (§3.3.1 step 1): issue the spec's queries
+//!    against the search engine, keep the top-`k` documents per query
+//!    (the paper gathered "the top 200 documents returned by the search
+//!    engine Google for each query").
+//! 2. **Snippet distillation** (step 2): split the fetched documents
+//!    into `n = 3`-sentence snippets, annotate them, and keep only those
+//!    passing the driver's NE-combination filter → the **noisy positive**
+//!    set Pⁿ.
+//! 3. **Negative class**: a large random sample of snippets from the
+//!    whole web (the paper used "over 2 million randomly sampled
+//!    snippets"; size is configurable here).
+//! 4. **Pure positives** Pᵖ: a small hand-verified set. The paper's
+//!    authors collected theirs manually from news sites; we simulate the
+//!    manual collection by drawing snippets that provably contain a
+//!    generated trigger sentence (ground truth the synthetic web carries
+//!    with every document). They are oversampled ×3 during training.
+//! 5. **De-noised training** (§3.3.2): the Brodley-style iterative loop
+//!    from [`etap_classify::denoise`].
+
+use crate::spec::DriverSpec;
+use etap_annotate::{AnnotatedSnippet, Annotator};
+use etap_classify::denoise::{DenoiseConfig, IterativeDenoiser};
+use etap_classify::{Classifier, MultinomialNb, Trainer};
+use etap_corpus::{SearchEngine, SyntheticWeb};
+use etap_features::{AbstractionPolicy, SparseVec, Vectorizer};
+use etap_text::SnippetGenerator;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Knobs of the training pipeline; defaults mirror the paper.
+#[derive(Debug, Clone)]
+pub struct TrainingConfig {
+    /// Sentences per snippet (`n = 3` in §3.1).
+    pub snippet_window: usize,
+    /// Documents kept per smart query (200 in §5.1).
+    pub top_docs_per_query: usize,
+    /// Random negative snippets sampled from the web.
+    pub negative_snippets: usize,
+    /// Pure positive snippets to "hand-collect" from the web's ground
+    /// truth (0 disables pure positives entirely).
+    pub pure_positives: usize,
+    /// De-noising loop configuration (2 iterations, ×3 oversample).
+    pub denoise: DenoiseConfig,
+    /// Feature-abstraction policy.
+    pub policy: AbstractionPolicy,
+    /// Emit word-bigram features ("definit_agreement") alongside
+    /// unigrams. Off by default (the paper's model is unigram).
+    pub bigrams: bool,
+    /// Seed for negative sampling and pure-positive selection.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            snippet_window: 3,
+            top_docs_per_query: 200,
+            negative_snippets: 6_000,
+            pure_positives: 30,
+            denoise: DenoiseConfig::default(),
+            policy: AbstractionPolicy::paper_default(),
+            bigrams: false,
+            seed: 0x7EA9,
+        }
+    }
+}
+
+/// Statistics from one driver's harvest + training run.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Distinct documents fetched by the smart queries.
+    pub docs_fetched: usize,
+    /// Snippets considered by the filter.
+    pub snippets_considered: usize,
+    /// Snippets surviving the filter (|Pⁿ| before de-noising).
+    pub noisy_positives: usize,
+    /// |Pⁿ| after de-noising.
+    pub retained_positives: usize,
+    /// De-noising iterations run.
+    pub iterations: usize,
+}
+
+/// A trained per-driver classifier with its frozen feature space.
+#[derive(Debug)]
+pub struct TrainedDriver<M = etap_classify::nb::MultinomialNbModel> {
+    /// The driver spec this model was trained for.
+    pub spec: DriverSpec,
+    /// Vectorizer whose vocabulary was frozen after training.
+    pub vectorizer: Vectorizer,
+    /// The trained classifier.
+    pub model: M,
+    /// Harvest/training statistics.
+    pub report: TrainingReport,
+}
+
+impl<M: Classifier> TrainedDriver<M> {
+    /// Posterior probability that an annotated snippet is a trigger
+    /// event for this driver.
+    #[must_use]
+    pub fn score(&self, snip: &AnnotatedSnippet) -> f64 {
+        // The vocabulary is frozen, so vectorization has no side effect;
+        // clone the (cheap) vectorizer handle to keep `&self`.
+        let mut vz = self.vectorizer.clone();
+        let v = vz.vectorize(snip);
+        self.model.posterior(&v)
+    }
+}
+
+/// Harvested training material for one driver, before vectorization.
+#[derive(Debug)]
+pub struct Harvest {
+    /// Annotated noisy-positive snippets (passed the filter).
+    pub noisy: Vec<AnnotatedSnippet>,
+    /// Raw texts of the noisy positives (for display / debugging).
+    pub noisy_texts: Vec<String>,
+    /// Distinct documents fetched.
+    pub docs_fetched: usize,
+    /// Snippets considered.
+    pub snippets_considered: usize,
+}
+
+/// Run the smart-query harvest (§3.3.1) for one driver.
+#[must_use]
+pub fn harvest_noisy_positives(
+    spec: &DriverSpec,
+    engine: &SearchEngine,
+    web: &SyntheticWeb,
+    annotator: &Annotator,
+    config: &TrainingConfig,
+) -> Harvest {
+    let snipgen = SnippetGenerator::new(config.snippet_window);
+    let mut doc_ids: Vec<usize> = Vec::new();
+    for query in &spec.smart_queries {
+        for hit in engine.search(query, config.top_docs_per_query) {
+            doc_ids.push(hit.doc_id);
+        }
+    }
+    doc_ids.sort_unstable();
+    doc_ids.dedup();
+
+    let mut noisy = Vec::new();
+    let mut noisy_texts = Vec::new();
+    let mut considered = 0usize;
+    for &id in &doc_ids {
+        let text = web.doc(id).text();
+        for snip in snipgen.snippets(&text) {
+            considered += 1;
+            let ann = annotator.annotate(&snip.text);
+            if spec.snippet_filter.matches(&ann) {
+                noisy.push(ann);
+                noisy_texts.push(snip.text);
+            }
+        }
+    }
+    Harvest {
+        noisy,
+        noisy_texts,
+        docs_fetched: doc_ids.len(),
+        snippets_considered: considered,
+    }
+}
+
+/// Simulate the manual collection of pure positives: snippets from the
+/// web's trigger documents that contain a full trigger sentence for the
+/// driver. `exclude_doc` lets evaluation keep its test documents out of
+/// training.
+#[must_use]
+pub fn collect_pure_positives(
+    spec: &DriverSpec,
+    web: &SyntheticWeb,
+    annotator: &Annotator,
+    config: &TrainingConfig,
+    exclude_doc: impl Fn(usize) -> bool,
+) -> Vec<AnnotatedSnippet> {
+    let snipgen = SnippetGenerator::new(config.snippet_window);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA11CE);
+    let mut pool: Vec<AnnotatedSnippet> = Vec::new();
+    for doc in web.trigger_docs(spec.driver) {
+        if exclude_doc(doc.id) {
+            continue;
+        }
+        let text = doc.text();
+        for snip in snipgen.snippets(&text) {
+            if doc
+                .trigger_sentences
+                .iter()
+                .any(|t| snip.text.contains(t.as_str()))
+            {
+                pool.push(annotator.annotate(&snip.text));
+            }
+        }
+    }
+    // Uniformly subsample to the requested size.
+    while pool.len() > config.pure_positives {
+        let i = rng.gen_range(0..pool.len());
+        pool.swap_remove(i);
+    }
+    pool
+}
+
+/// Sample the random negative class from the whole web.
+#[must_use]
+pub fn sample_negatives(
+    web: &SyntheticWeb,
+    annotator: &Annotator,
+    config: &TrainingConfig,
+    exclude_doc: impl Fn(usize) -> bool,
+) -> Vec<AnnotatedSnippet> {
+    let snipgen = SnippetGenerator::new(config.snippet_window);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E6A71);
+    let mut out = Vec::with_capacity(config.negative_snippets);
+    let mut guard = 0usize;
+    while out.len() < config.negative_snippets && guard < config.negative_snippets * 20 {
+        guard += 1;
+        let id = rng.gen_range(0..web.len());
+        if exclude_doc(id) {
+            continue;
+        }
+        let text = web.doc(id).text();
+        let snippets = snipgen.snippets(&text);
+        if snippets.is_empty() {
+            continue;
+        }
+        let pick = rng.gen_range(0..snippets.len());
+        out.push(annotator.annotate(&snippets[pick].text));
+    }
+    out
+}
+
+/// Train one driver end to end with an arbitrary classifier family.
+pub fn train_driver_with<T: Trainer>(
+    trainer: &T,
+    spec: &DriverSpec,
+    engine: &SearchEngine,
+    web: &SyntheticWeb,
+    annotator: &Annotator,
+    config: &TrainingConfig,
+    exclude_doc: impl Fn(usize) -> bool + Copy,
+) -> TrainedDriver<T::Model> {
+    let harvest = harvest_noisy_positives(spec, engine, web, annotator, config);
+    let pure = collect_pure_positives(spec, web, annotator, config, exclude_doc);
+    let negatives = sample_negatives(web, annotator, config, exclude_doc);
+
+    let mut vectorizer = Vectorizer::new(config.policy.clone()).with_bigrams(config.bigrams);
+    let noisy_vecs: Vec<SparseVec> = harvest
+        .noisy
+        .iter()
+        .map(|s| vectorizer.vectorize(s))
+        .collect();
+    let pure_vecs: Vec<SparseVec> = pure.iter().map(|s| vectorizer.vectorize(s)).collect();
+    let neg_vecs: Vec<SparseVec> = negatives.iter().map(|s| vectorizer.vectorize(s)).collect();
+    vectorizer.freeze();
+
+    let denoiser = IterativeDenoiser {
+        config: config.denoise,
+    };
+    let outcome = denoiser.run(trainer, &noisy_vecs, &pure_vecs, &neg_vecs);
+    let report = TrainingReport {
+        docs_fetched: harvest.docs_fetched,
+        snippets_considered: harvest.snippets_considered,
+        noisy_positives: noisy_vecs.len(),
+        retained_positives: outcome.retained.len(),
+        iterations: outcome.iterations(),
+    };
+
+    TrainedDriver {
+        spec: spec.clone(),
+        vectorizer,
+        model: outcome.model,
+        report,
+    }
+}
+
+/// Train one driver with the paper's classifier (multinomial NB).
+pub fn train_driver(
+    spec: &DriverSpec,
+    engine: &SearchEngine,
+    web: &SyntheticWeb,
+    annotator: &Annotator,
+    config: &TrainingConfig,
+    exclude_doc: impl Fn(usize) -> bool + Copy,
+) -> TrainedDriver {
+    train_driver_with(
+        &MultinomialNb::new(),
+        spec,
+        engine,
+        web,
+        annotator,
+        config,
+        exclude_doc,
+    )
+}
+
+/// Build the paper's evaluation test set for a list of drivers: for each
+/// driver, `per_driver` snippets containing a genuine trigger sentence
+/// (drawn from documents satisfying `include_doc`), plus `background`
+/// snippets from non-trigger documents shared across drivers.
+///
+/// Returns `(driver_positive_snippets, background_snippets)` as raw
+/// texts; §5.1's test set was "72 instances of true positives for
+/// mergers & acquisitions …, 56 … for change in management and 2265
+/// snippets that did not belong to either".
+#[must_use]
+pub fn build_test_set(
+    web: &SyntheticWeb,
+    drivers: &[etap_corpus::SalesDriver],
+    per_driver: &[usize],
+    background: usize,
+    window: usize,
+    seed: u64,
+    include_doc: impl Fn(usize) -> bool,
+) -> (Vec<Vec<String>>, Vec<String>) {
+    assert_eq!(drivers.len(), per_driver.len());
+    let snipgen = SnippetGenerator::new(window);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut positives: Vec<Vec<String>> = Vec::with_capacity(drivers.len());
+    for (&driver, &want) in drivers.iter().zip(per_driver) {
+        let mut pool: Vec<String> = Vec::new();
+        for doc in web.trigger_docs(driver) {
+            if !include_doc(doc.id) {
+                continue;
+            }
+            let text = doc.text();
+            for snip in snipgen.snippets(&text) {
+                if doc
+                    .trigger_sentences
+                    .iter()
+                    .any(|t| snip.text.contains(t.as_str()))
+                {
+                    pool.push(snip.text);
+                }
+            }
+        }
+        while pool.len() > want {
+            let i = rng.gen_range(0..pool.len());
+            pool.swap_remove(i);
+        }
+        positives.push(pool);
+    }
+
+    let mut bg: Vec<String> = Vec::new();
+    let mut guard = 0usize;
+    while bg.len() < background && guard < background * 30 {
+        guard += 1;
+        let id = rng.gen_range(0..web.len());
+        if !include_doc(id) {
+            continue;
+        }
+        let doc = web.doc(id);
+        if doc.trigger_driver().is_some() {
+            continue;
+        }
+        let text = doc.text();
+        let snippets = snipgen.snippets(&text);
+        if snippets.is_empty() {
+            continue;
+        }
+        let pick = rng.gen_range(0..snippets.len());
+        bg.push(snippets[pick].text.clone());
+    }
+    (positives, bg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etap_corpus::{SalesDriver, WebConfig};
+
+    fn small_web() -> SyntheticWeb {
+        SyntheticWeb::generate(WebConfig {
+            total_docs: 600,
+            ..WebConfig::default()
+        })
+    }
+
+    #[test]
+    fn harvest_produces_mostly_relevant_snippets() {
+        let web = small_web();
+        let engine = SearchEngine::build(web.docs());
+        let annotator = Annotator::new();
+        let config = TrainingConfig {
+            top_docs_per_query: 50,
+            ..TrainingConfig::default()
+        };
+        let spec = DriverSpec::builtin(SalesDriver::ChangeInManagement);
+        let h = harvest_noisy_positives(&spec, &engine, &web, &annotator, &config);
+        assert!(h.docs_fetched > 0);
+        assert!(h.noisy.len() > 5, "noisy positives: {}", h.noisy.len());
+        assert!(h.noisy.len() <= h.snippets_considered);
+        assert_eq!(h.noisy.len(), h.noisy_texts.len());
+    }
+
+    #[test]
+    fn pure_positives_respect_exclusion_and_cap() {
+        let web = small_web();
+        let annotator = Annotator::new();
+        let config = TrainingConfig {
+            pure_positives: 5,
+            ..TrainingConfig::default()
+        };
+        let spec = DriverSpec::builtin(SalesDriver::MergersAcquisitions);
+        let all = collect_pure_positives(&spec, &web, &annotator, &config, |_| false);
+        assert!(all.len() <= 5);
+        let none = collect_pure_positives(&spec, &web, &annotator, &config, |_| true);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn negatives_sampled_to_size() {
+        let web = small_web();
+        let annotator = Annotator::new();
+        let config = TrainingConfig {
+            negative_snippets: 100,
+            ..TrainingConfig::default()
+        };
+        let negs = sample_negatives(&web, &annotator, &config, |_| false);
+        assert_eq!(negs.len(), 100);
+    }
+
+    #[test]
+    fn end_to_end_training_separates_classes() {
+        let web = small_web();
+        let engine = SearchEngine::build(web.docs());
+        let annotator = Annotator::new();
+        let config = TrainingConfig {
+            top_docs_per_query: 60,
+            negative_snippets: 600,
+            pure_positives: 10,
+            ..TrainingConfig::default()
+        };
+        let spec = DriverSpec::builtin(SalesDriver::ChangeInManagement);
+        let trained = train_driver(&spec, &engine, &web, &annotator, &config, |_| false);
+        assert!(trained.report.noisy_positives > 0);
+
+        let pos = annotator.annotate("Oracle named James Wilson as its new CEO.");
+        let neg = annotator.annotate("Heavy rain is expected across the region this weekend.");
+        let sp = trained.score(&pos);
+        let sn = trained.score(&neg);
+        assert!(sp > 0.5, "positive snippet scored {sp}");
+        assert!(sn < 0.5, "background snippet scored {sn}");
+    }
+
+    #[test]
+    fn test_set_respects_sizes() {
+        let web = small_web();
+        let (pos, bg) = build_test_set(
+            &web,
+            &[
+                SalesDriver::MergersAcquisitions,
+                SalesDriver::ChangeInManagement,
+            ],
+            &[10, 8],
+            100,
+            3,
+            7,
+            |_| true,
+        );
+        assert_eq!(pos.len(), 2);
+        assert!(pos[0].len() <= 10);
+        assert!(pos[1].len() <= 8);
+        assert_eq!(bg.len(), 100);
+    }
+}

@@ -1,0 +1,111 @@
+//! The sales-driver taxonomy.
+//!
+//! §2 of the paper: "A sales driver represents a class of events whose
+//! existence indicates a high propensity to buy products/services by the
+//! companies associated with the events. … ETAP currently considers
+//! three sales drivers, viz., mergers & acquisitions, change in
+//! management, and revenue growth."
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The three sales drivers ETAP ships with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SalesDriver {
+    /// One company acquiring or merging with another.
+    MergersAcquisitions,
+    /// A new executive joining / an executive leaving a company.
+    ChangeInManagement,
+    /// A company reporting revenue / profit growth (or decline).
+    RevenueGrowth,
+}
+
+impl SalesDriver {
+    /// All built-in drivers.
+    pub const ALL: [SalesDriver; 3] = [
+        SalesDriver::MergersAcquisitions,
+        SalesDriver::ChangeInManagement,
+        SalesDriver::RevenueGrowth,
+    ];
+
+    /// Stable machine-readable identifier.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            SalesDriver::MergersAcquisitions => "mergers_acquisitions",
+            SalesDriver::ChangeInManagement => "change_in_management",
+            SalesDriver::RevenueGrowth => "revenue_growth",
+        }
+    }
+
+    /// Human-readable name as the paper writes it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SalesDriver::MergersAcquisitions => "mergers & acquisitions",
+            SalesDriver::ChangeInManagement => "change in management",
+            SalesDriver::RevenueGrowth => "revenue growth",
+        }
+    }
+}
+
+impl fmt::Display for SalesDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SalesDriver {
+    type Err = UnknownDriver;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SalesDriver::ALL
+            .iter()
+            .copied()
+            .find(|d| d.id() == s || d.name() == s)
+            .ok_or_else(|| UnknownDriver(s.to_string()))
+    }
+}
+
+/// Error for an unrecognized sales-driver name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownDriver(pub String);
+
+impl fmt::Display for UnknownDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown sales driver: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownDriver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_drivers() {
+        assert_eq!(SalesDriver::ALL.len(), 3);
+    }
+
+    #[test]
+    fn ids_parse_back() {
+        for d in SalesDriver::ALL {
+            assert_eq!(d.id().parse::<SalesDriver>().unwrap(), d);
+            assert_eq!(d.name().parse::<SalesDriver>().unwrap(), d);
+        }
+        assert!("steel futures".parse::<SalesDriver>().is_err());
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(
+            SalesDriver::MergersAcquisitions.to_string(),
+            "mergers & acquisitions"
+        );
+        assert_eq!(
+            SalesDriver::ChangeInManagement.to_string(),
+            "change in management"
+        );
+    }
+}

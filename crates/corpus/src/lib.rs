@@ -1,0 +1,45 @@
+//! # etap-corpus — the synthetic web substrate
+//!
+//! The paper runs on live web data: a focused crawl plus Google queries
+//! (its §5.1 fetches "the top 200 documents returned by the search
+//! engine Google for each query"). Neither is available offline, so this
+//! crate builds the closest synthetic equivalent that exercises the same
+//! code paths (see DESIGN.md, "Substitutions"):
+//!
+//! * [`names`] — seeded generators of company / person / place / money /
+//!   percentage surface forms, mixing gazetteer-known names with novel
+//!   ones so the NER misses entities at a realistic rate;
+//! * [`templates`] — sentence templates for the three sales drivers,
+//!   hard distractors (biographies, denial stories, historical
+//!   retrospectives) and ~15 background genres;
+//! * [`generator`] — assembles whole documents (headline + body) from
+//!   the templates;
+//! * [`web`] — [`SyntheticWeb`]: a deterministic corpus with a
+//!   configurable genre mix, the stand-in for the World Wide Web;
+//! * [`search`] — an inverted-index search engine with BM25 ranking and
+//!   quoted-phrase support: the stand-in for Google that the
+//!   smart-query harvester talks to;
+//! * [`drivers`] — the [`SalesDriver`] taxonomy (mergers & acquisitions,
+//!   change in management, revenue growth — §2: "ETAP currently
+//!   considers three sales drivers").
+//!
+//! Everything is seeded and deterministic: the same seed produces the
+//! same web, the same queries produce the same hits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawl;
+pub mod drivers;
+pub mod generator;
+pub mod names;
+pub mod search;
+pub mod templates;
+pub mod web;
+
+pub use crawl::{business_anchor, business_relevance, CrawlResult, FocusedCrawler, LinkGraph};
+pub use drivers::SalesDriver;
+pub use generator::{DocGenerator, Genre, SyntheticDoc};
+pub use names::NameGenerator;
+pub use search::{SearchEngine, SearchHit};
+pub use web::{SyntheticWeb, WebConfig};

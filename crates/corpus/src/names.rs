@@ -1,0 +1,356 @@
+//! Surface-form generators for entities in synthetic documents.
+//!
+//! The generators deliberately mix two sources:
+//!
+//! * **gazetteer names** the NER knows (drawn from
+//!   [`etap_annotate::gazetteer`]), and
+//! * **novel names** composed from parts (e.g. `Veridian Technologies`,
+//!   `Karen Oakdale`) that the NER can only catch via contextual rules —
+//!   or not at all.
+//!
+//! The `known_fraction` knob therefore directly controls the synthetic
+//! NER error rate, letting the experiments probe the paper's §6 claim
+//! that "the overall result of ETAP is heavily dependent on the accuracy
+//! of the named entity recognizer".
+
+use etap_annotate::gazetteer;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Syllable-ish stems for novel company names.
+const COMPANY_STEMS: &[&str] = &[
+    "Verid", "Zenl", "Quant", "Nexa", "Omni", "Strat", "Luma", "Arc", "Velo", "Syn", "Alt", "Cred",
+    "Dyn", "Eon", "Flux", "Grav", "Helix", "Iron", "Jov", "Kine", "Mer", "Nov", "Opt", "Pyx",
+    "Quor", "Riv", "Sol", "Tern", "Umbr", "Vanta", "Wex", "Xen", "Yield", "Zephyr", "Abel", "Bryt",
+    "Cald", "Dext", "Ever", "Fenn", "Gild", "Hark", "Ing", "Jasp", "Kest", "Lor", "Mond", "Nyl",
+    "Orin", "Pell", "Quill", "Rost", "Sab", "Tald", "Ulm", "Vex", "Wynd", "Xyl", "Yarr", "Zor",
+    "Ambr", "Bor", "Cyn", "Dor", "Elm", "Fray", "Grey", "Hol",
+];
+
+/// Endings for novel company names.
+const COMPANY_ENDINGS: &[&str] = &[
+    "ian", "ith", "ara", "eon", "ex", "ia", "ic", "is", "on", "or", "um", "us", "yne", "ano",
+    "edge", "ell", "ent", "est", "ett", "ord", "ose", "oth", "ove", "owe", "ung", "ure",
+];
+
+/// Corporate suffixes for novel companies.
+const COMPANY_SUFFIXES: &[&str] = &[
+    "Systems",
+    "Technologies",
+    "Solutions",
+    "Industries",
+    "Networks",
+    "Software",
+    "Holdings",
+    "Partners",
+    "Labs",
+    "Group",
+    "Corp",
+    "Inc",
+    "Ltd",
+];
+
+/// Novel surname stems (not in the NER gazetteer).
+const NOVEL_SURNAMES: &[&str] = &[
+    "Oakdale",
+    "Fairbanks",
+    "Whitlock",
+    "Garrow",
+    "Hensley",
+    "Marwick",
+    "Penrose",
+    "Quimby",
+    "Redgrave",
+    "Stanhope",
+    "Tilford",
+    "Underhill",
+    "Varley",
+    "Wetherby",
+    "Yarrow",
+    "Ashcombe",
+    "Birtwell",
+    "Cresswell",
+    "Dunmore",
+    "Eastgate",
+    "Fenwick",
+    "Goodhart",
+    "Hollis",
+    "Ingleby",
+    "Jellicoe",
+    "Kirkbride",
+    "Lanyon",
+    "Mossgrave",
+    "Netherton",
+    "Okehampton",
+    "Pendle",
+    "Quarrington",
+    "Ravenshaw",
+    "Silverdale",
+    "Thornbury",
+    "Umberleigh",
+    "Venncott",
+    "Wolstencroft",
+    "Yeardley",
+    "Zelland",
+    "Applethwaite",
+    "Brackenridge",
+    "Colddingham",
+    "Drumlanrig",
+    "Elphinstone",
+    "Farthingale",
+    "Gormanston",
+    "Hatherleigh",
+    "Inverkeithing",
+    "Jesmond",
+    "Kentisbeare",
+    "Lullington",
+    "Membury",
+    "Nymet",
+];
+
+/// Deterministic generator of entity surface forms.
+#[derive(Debug, Clone)]
+pub struct NameGenerator {
+    rng: StdRng,
+    /// Probability that a generated company/person uses gazetteer names
+    /// the NER recognizes. Default 0.65.
+    pub known_fraction: f64,
+}
+
+impl NameGenerator {
+    /// Create a generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            known_fraction: 0.35,
+        }
+    }
+
+    /// Override the fraction of gazetteer-known names.
+    #[must_use]
+    pub fn with_known_fraction(mut self, f: f64) -> Self {
+        self.known_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    fn pick<'a>(&mut self, list: &[&'a str]) -> &'a str {
+        list[self.rng.gen_range(0..list.len())]
+    }
+
+    fn known(&mut self) -> bool {
+        self.rng.gen_bool(self.known_fraction)
+    }
+
+    /// A company name.
+    pub fn company(&mut self) -> String {
+        if self.known() {
+            self.pick(gazetteer::ORGANIZATIONS).to_string()
+        } else {
+            let stem = self.pick(COMPANY_STEMS);
+            let end = self.pick(COMPANY_ENDINGS);
+            let suffix = self.pick(COMPANY_SUFFIXES);
+            format!("{stem}{end} {suffix}")
+        }
+    }
+
+    /// Two *distinct* company names (acquirer and target).
+    pub fn company_pair(&mut self) -> (String, String) {
+        let a = self.company();
+        loop {
+            let b = self.company();
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+
+    /// A person's full name.
+    pub fn person(&mut self) -> String {
+        let given = self.pick(gazetteer::GIVEN_NAMES);
+        let surname = if self.known() {
+            self.pick(gazetteer::SURNAMES)
+        } else {
+            self.pick(NOVEL_SURNAMES)
+        };
+        format!("{given} {surname}")
+    }
+
+    /// A job designation.
+    pub fn designation(&mut self) -> String {
+        const TITLES: &[&str] = &[
+            "CEO",
+            "CFO",
+            "CTO",
+            "COO",
+            "CIO",
+            "President",
+            "Chairman",
+            "Vice President",
+            "Managing Director",
+            "General Manager",
+            "Chief Executive Officer",
+            "Chief Financial Officer",
+            "Chief Technology Officer",
+        ];
+        self.pick(TITLES).to_string()
+    }
+
+    /// A place name (always gazetteer-known; places are stable).
+    pub fn place(&mut self) -> String {
+        self.pick(gazetteer::PLACES).to_string()
+    }
+
+    /// A monetary amount like `$420 million`.
+    pub fn money(&mut self) -> String {
+        let amount = self.rng.gen_range(5..990);
+        let scale = self.pick(&["million", "billion"]);
+        format!("${amount} {scale}")
+    }
+
+    /// A percentage like `12 percent` or `7.5 %`.
+    pub fn percent(&mut self) -> String {
+        let whole = self.rng.gen_range(1..60);
+        if self.rng.gen_bool(0.5) {
+            format!("{whole} percent")
+        } else {
+            let frac = self.rng.gen_range(0..10);
+            format!("{whole}.{frac} %")
+        }
+    }
+
+    /// A year in the corpus's publication era (current news cites
+    /// current years; old years belong to [`Self::past_year_pair`]'s
+    /// retrospectives).
+    pub fn year(&mut self) -> String {
+        self.rng.gen_range(2004..=2006).to_string()
+    }
+
+    /// A past year strictly earlier than [`NameGenerator::year`]'s range
+    /// (for biography distractors: "was the CEO … from 1980 to 1985").
+    pub fn past_year_pair(&mut self) -> (String, String) {
+        let a = self.rng.gen_range(1965..1990);
+        let b = a + self.rng.gen_range(2..9);
+        (a.to_string(), b.to_string())
+    }
+
+    /// A quarter expression like `fourth quarter`.
+    pub fn quarter(&mut self) -> String {
+        let q = self.pick(&["first", "second", "third", "fourth"]);
+        format!("{q} quarter")
+    }
+
+    /// A month-plus-year date like `April 2004`.
+    pub fn date(&mut self) -> String {
+        let month = self.pick(gazetteer::MONTHS);
+        format!("{month} {}", self.year())
+    }
+
+    /// A product-ish name for background tech stories.
+    pub fn product(&mut self) -> String {
+        self.pick(gazetteer::PRODUCTS).to_string()
+    }
+
+    /// Uniform choice from a static list (exposed for template filling).
+    pub fn choose<'a>(&mut self, list: &[&'a str]) -> &'a str {
+        self.pick(list)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = NameGenerator::new(11);
+        let mut b = NameGenerator::new(11);
+        for _ in 0..20 {
+            assert_eq!(a.company(), b.company());
+            assert_eq!(a.person(), b.person());
+            assert_eq!(a.money(), b.money());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = NameGenerator::new(1);
+        let mut b = NameGenerator::new(2);
+        let seq_a: Vec<String> = (0..10).map(|_| a.company()).collect();
+        let seq_b: Vec<String> = (0..10).map(|_| b.company()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn company_pair_is_distinct() {
+        let mut g = NameGenerator::new(3);
+        for _ in 0..50 {
+            let (a, b) = g.company_pair();
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn known_fraction_extremes() {
+        let mut known = NameGenerator::new(5).with_known_fraction(1.0);
+        for _ in 0..30 {
+            let c = known.company();
+            assert!(
+                etap_annotate::gazetteer::ORGANIZATIONS.contains(&c.as_str()),
+                "{c} should be a gazetteer org"
+            );
+        }
+        let mut novel = NameGenerator::new(5).with_known_fraction(0.0);
+        for _ in 0..30 {
+            let c = novel.company();
+            assert!(
+                !etap_annotate::gazetteer::ORGANIZATIONS.contains(&c.as_str()),
+                "{c} should be novel"
+            );
+        }
+    }
+
+    #[test]
+    fn money_and_percent_shapes() {
+        let mut g = NameGenerator::new(9);
+        for _ in 0..20 {
+            let m = g.money();
+            assert!(m.starts_with('$'), "{m}");
+            assert!(m.ends_with("million") || m.ends_with("billion"), "{m}");
+            let p = g.percent();
+            assert!(p.ends_with("percent") || p.ends_with('%'), "{p}");
+        }
+    }
+
+    #[test]
+    fn years_in_era() {
+        let mut g = NameGenerator::new(13);
+        for _ in 0..20 {
+            let y: i32 = g.year().parse().unwrap();
+            assert!((2004..=2006).contains(&y));
+            let (a, b) = g.past_year_pair();
+            let (a, b): (i32, i32) = (a.parse().unwrap(), b.parse().unwrap());
+            assert!(a < b && b < 1999);
+        }
+    }
+
+    #[test]
+    fn person_has_two_parts() {
+        let mut g = NameGenerator::new(21);
+        for _ in 0..20 {
+            let p = g.person();
+            assert_eq!(p.split(' ').count(), 2, "{p}");
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The search engine — the stand-in for Google in the smart-query
+//! harvesting loop.
+//!
+//! §3.3.1 of the paper: *"we fetch documents from the Web, by querying a
+//! search engine using smart queries … we use the query 'new ceo' on a
+//! search engine to obtain a large number of highly ranked documents."*
+//! The only property ETAP relies on is that the top hits for a smart
+//! query are mostly (not entirely) relevant — which any reasonable
+//! ranked-retrieval engine provides. This one is a classic
+//! inverted-index BM25 engine with positional postings so quoted
+//! phrases (`"new ceo"`, `"IBM Daksh"`) match exactly.
+
+use crate::generator::SyntheticDoc;
+use etap_text::tokenize;
+use std::collections::HashMap;
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Document id.
+    pub doc_id: usize,
+    /// BM25 score (higher = better).
+    pub score: f64,
+}
+
+/// Positional posting: document id and the token positions of the term.
+#[derive(Debug, Clone)]
+struct Posting {
+    doc_id: usize,
+    positions: Vec<u32>,
+}
+
+/// BM25 parameters (standard defaults).
+const K1: f64 = 1.2;
+const B: f64 = 0.75;
+
+/// An inverted-index search engine over synthetic documents.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    postings: HashMap<String, Vec<Posting>>,
+    doc_len: Vec<u32>,
+    avg_len: f64,
+}
+
+impl SearchEngine {
+    /// Index a document collection. `docs[i]` must have `id == i`.
+    #[must_use]
+    pub fn build(docs: &[SyntheticDoc]) -> Self {
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut doc_len = Vec::with_capacity(docs.len());
+        for (i, doc) in docs.iter().enumerate() {
+            debug_assert_eq!(doc.id, i, "doc ids must be dense");
+            let text = doc.text();
+            let tokens = tokenize(&text);
+            doc_len.push(tokens.len() as u32);
+            for (pos, tok) in tokens.iter().enumerate() {
+                let term = tok.lower();
+                let entry = postings.entry(term).or_default();
+                match entry.last_mut() {
+                    Some(p) if p.doc_id == i => p.positions.push(pos as u32),
+                    _ => entry.push(Posting {
+                        doc_id: i,
+                        positions: vec![pos as u32],
+                    }),
+                }
+            }
+        }
+        let avg_len = if doc_len.is_empty() {
+            0.0
+        } else {
+            doc_len.iter().map(|&l| f64::from(l)).sum::<f64>() / doc_len.len() as f64
+        };
+        Self {
+            postings,
+            doc_len,
+            avg_len,
+        }
+    }
+
+    /// Number of indexed documents.
+    #[must_use]
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Search with BM25; quoted substrings must match as exact phrases.
+    ///
+    /// Query syntax: whitespace-separated terms; `"…"` groups a phrase.
+    /// Matching is case-insensitive. A document must contain **all**
+    /// phrases and **at least one** bare term (if any are given) to be
+    /// returned.
+    ///
+    /// ```
+    /// use etap_corpus::{SearchEngine, SyntheticWeb, WebConfig};
+    /// let web = SyntheticWeb::generate(WebConfig::with_docs(400));
+    /// let engine = SearchEngine::build(web.docs());
+    /// let hits = engine.search("\"new ceo\"", 10);
+    /// assert!(!hits.is_empty());
+    /// assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    /// ```
+    #[must_use]
+    pub fn search(&self, query: &str, top_k: usize) -> Vec<SearchHit> {
+        let (terms, phrases) = parse_query(query);
+        if terms.is_empty() && phrases.is_empty() {
+            return Vec::new();
+        }
+
+        // Candidate set: docs matching every phrase (phrase = hard
+        // filter); if no phrases, any doc containing ≥1 term.
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+
+        // Score all bare terms plus each phrase's words.
+        let mut scoring_terms: Vec<&str> = terms.iter().map(String::as_str).collect();
+        for p in &phrases {
+            scoring_terms.extend(p.iter().map(String::as_str));
+        }
+        for term in &scoring_terms {
+            if let Some(posts) = self.postings.get(*term) {
+                let idf = self.idf(posts.len());
+                for p in posts {
+                    let tf = p.positions.len() as f64;
+                    let dl = f64::from(self.doc_len[p.doc_id]);
+                    let denom = tf + K1 * (1.0 - B + B * dl / self.avg_len.max(1.0));
+                    *scores.entry(p.doc_id).or_default() += idf * tf * (K1 + 1.0) / denom;
+                }
+            }
+        }
+
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .filter(|&(doc_id, _)| {
+                phrases
+                    .iter()
+                    .all(|phrase| self.doc_has_phrase(doc_id, phrase))
+            })
+            .map(|(doc_id, score)| SearchHit { doc_id, score })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id)));
+        hits.truncate(top_k);
+        hits
+    }
+
+    fn idf(&self, df: usize) -> f64 {
+        let n = self.num_docs() as f64;
+        let df = df as f64;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Does `doc_id` contain the phrase (consecutive positions)?
+    fn doc_has_phrase(&self, doc_id: usize, phrase: &[String]) -> bool {
+        if phrase.is_empty() {
+            return true;
+        }
+        let Some(first) = self
+            .postings
+            .get(&phrase[0])
+            .and_then(|ps| ps.iter().find(|p| p.doc_id == doc_id))
+        else {
+            return false;
+        };
+        'starts: for &start in &first.positions {
+            for (k, word) in phrase.iter().enumerate().skip(1) {
+                let ok = self
+                    .postings
+                    .get(word)
+                    .and_then(|ps| ps.iter().find(|p| p.doc_id == doc_id))
+                    .is_some_and(|p| p.positions.binary_search(&(start + k as u32)).is_ok());
+                if !ok {
+                    continue 'starts;
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Split a query into bare terms and quoted phrases, lowercased and
+/// tokenized the same way as the index.
+fn parse_query(query: &str) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut terms = Vec::new();
+    let mut phrases = Vec::new();
+    let mut rest = query;
+    while let Some(open) = rest.find('"') {
+        let before = &rest[..open];
+        terms.extend(bare_terms(before));
+        let after = &rest[open + 1..];
+        match after.find('"') {
+            Some(close) => {
+                let phrase: Vec<String> = tokenize(&after[..close])
+                    .iter()
+                    .map(etap_text::Token::lower)
+                    .collect();
+                if !phrase.is_empty() {
+                    phrases.push(phrase);
+                }
+                rest = &after[close + 1..];
+            }
+            None => {
+                // Unbalanced quote: treat the remainder as bare terms.
+                rest = after;
+                break;
+            }
+        }
+    }
+    terms.extend(bare_terms(rest));
+    (terms, phrases)
+}
+
+fn bare_terms(s: &str) -> Vec<String> {
+    tokenize(s).iter().map(etap_text::Token::lower).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{DocGenerator, Genre};
+    use crate::web::{SyntheticWeb, WebConfig};
+    use crate::SalesDriver;
+
+    fn doc(id: usize, title: &str, body: &str) -> SyntheticDoc {
+        SyntheticDoc {
+            id,
+            url: format!("http://t/{id}"),
+            title: title.to_string(),
+            body: body.to_string(),
+            genre: Genre::BusinessNoise,
+            trigger_sentences: vec![],
+            companies: vec![],
+            date: (2005, 6, 15),
+        }
+    }
+
+    fn tiny_index() -> SearchEngine {
+        SearchEngine::build(&[
+            doc(
+                0,
+                "Acme names new CEO",
+                "Acme Corp named Jane Roe as its new CEO on Monday.",
+            ),
+            doc(
+                1,
+                "Weather report",
+                "Heavy rain is expected across London this week.",
+            ),
+            doc(
+                2,
+                "Old boss",
+                "Jane Roe was the CEO of Acme Corp from 1980 to 1985.",
+            ),
+            doc(
+                3,
+                "Ceo chatter",
+                "The ceo spoke. The ceo smiled. The ceo left.",
+            ),
+        ])
+    }
+
+    #[test]
+    fn term_search_finds_matching_docs() {
+        let idx = tiny_index();
+        let hits = idx.search("rain", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc_id, 1);
+    }
+
+    #[test]
+    fn phrase_search_requires_adjacency() {
+        let idx = tiny_index();
+        let hits = idx.search("\"new ceo\"", 10);
+        let ids: Vec<usize> = hits.iter().map(|h| h.doc_id).collect();
+        assert!(ids.contains(&0), "{ids:?}");
+        // Doc 2 has "new" nowhere and doc 3 has "ceo" but not "new ceo".
+        assert!(!ids.contains(&2));
+        assert!(!ids.contains(&3));
+    }
+
+    #[test]
+    fn search_is_case_insensitive() {
+        let idx = tiny_index();
+        assert_eq!(idx.search("RAIN", 10).len(), 1);
+        assert!(!idx.search("\"NEW CEO\"", 10).is_empty());
+    }
+
+    #[test]
+    fn tf_influences_ranking() {
+        let idx = tiny_index();
+        let hits = idx.search("ceo", 10);
+        // Doc 3 repeats "ceo" three times — highest tf; it should rank
+        // at or near the top among the ceo-bearing docs.
+        assert_eq!(hits[0].doc_id, 3, "{hits:?}");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let idx = tiny_index();
+        let hits = idx.search("ceo", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let idx = tiny_index();
+        assert!(idx.search("", 10).is_empty());
+        assert!(idx.search("   ", 10).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_quote_degrades_gracefully() {
+        let idx = tiny_index();
+        let hits = idx.search("\"new ceo", 10);
+        // Falls back to bare terms — still finds something.
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn multi_word_company_phrase() {
+        let mut g = DocGenerator::new(3);
+        let mut docs = vec![g.generate(Genre::BusinessNoise)];
+        docs.push(doc(
+            1,
+            "Deal news",
+            "IBM acquired Daksh for $160 million. IBM Daksh teams will merge.",
+        ));
+        // Fix ids to be dense.
+        docs[0].id = 0;
+        let idx = SearchEngine::build(&docs);
+        let hits = idx.search("\"IBM Daksh\"", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc_id, 1);
+    }
+
+    #[test]
+    fn smart_query_on_synthetic_web_is_precise() {
+        // The paper's core assumption: top hits for "new ceo" are mostly
+        // change-in-management documents. Verify on a real synthetic web.
+        let web = SyntheticWeb::generate(WebConfig::with_docs(1500));
+        let idx = SearchEngine::build(web.docs());
+        let hits = idx.search("\"new ceo\"", 30);
+        assert!(hits.len() >= 5, "query should hit: {}", hits.len());
+        let relevant = hits
+            .iter()
+            .filter(|h| {
+                matches!(
+                    web.doc(h.doc_id).genre,
+                    Genre::Trigger(SalesDriver::ChangeInManagement)
+                        | Genre::Distractor(SalesDriver::ChangeInManagement)
+                )
+            })
+            .count();
+        let precision = relevant as f64 / hits.len() as f64;
+        assert!(
+            precision > 0.6,
+            "precision {precision} over {} hits",
+            hits.len()
+        );
+    }
+
+    #[test]
+    fn parse_query_shapes() {
+        let (terms, phrases) = parse_query("alpha \"two words\" beta");
+        assert_eq!(terms, vec!["alpha", "beta"]);
+        assert_eq!(phrases, vec![vec!["two".to_string(), "words".to_string()]]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn tiny_web() -> Vec<SyntheticDoc> {
+            SyntheticWeb::generate(WebConfig::with_docs(120))
+                .docs()
+                .to_vec()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Hits come back sorted by descending score, and top-k is a
+            /// prefix of top-(k+m).
+            #[test]
+            fn hits_sorted_and_topk_prefix(query in "[a-z]{2,8}( [a-z]{2,8}){0,2}", k in 1usize..30) {
+                let docs = tiny_web();
+                let engine = SearchEngine::build(&docs);
+                let big = engine.search(&query, k + 25);
+                for w in big.windows(2) {
+                    prop_assert!(w[0].score >= w[1].score);
+                }
+                let small = engine.search(&query, k);
+                prop_assert_eq!(&big[..small.len().min(big.len())], &small[..]);
+            }
+
+            /// Every phrase hit really contains the phrase verbatim
+            /// (case-insensitively, modulo tokenization).
+            #[test]
+            fn phrase_hits_contain_phrase(seed_doc in 0usize..120) {
+                let docs = tiny_web();
+                // Take a 2-word phrase straight out of a real document so
+                // the query is guaranteed to have at least one hit.
+                let text = docs[seed_doc].text();
+                let toks = tokenize(&text);
+                prop_assume!(toks.len() >= 6);
+                let words: Vec<String> = toks[2..4].iter().map(etap_text::Token::lower).collect();
+                prop_assume!(words.iter().all(|w| w.chars().all(char::is_alphanumeric)));
+                let phrase = words.join(" ");
+                let engine = SearchEngine::build(&docs);
+                let hits = engine.search(&format!("\"{phrase}\""), 50);
+                prop_assert!(!hits.is_empty());
+                for h in hits {
+                    let lower: Vec<String> = tokenize(&docs[h.doc_id].text())
+                        .iter()
+                        .map(etap_text::Token::lower)
+                        .collect();
+                    let found = lower.windows(2).any(|w| w[0] == words[0] && w[1] == words[1]);
+                    prop_assert!(found, "doc {} lacks phrase {:?}", h.doc_id, phrase);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The synthetic World Wide Web.
+//!
+//! A [`SyntheticWeb`] is a deterministic collection of generated
+//! documents with a configurable genre mix. It plays the role of the
+//! live web in the paper: the data-gathering component crawls it, the
+//! search engine indexes it, smart queries harvest noisy positives from
+//! it, and the negative class is randomly sampled from it.
+
+use crate::drivers::SalesDriver;
+use crate::generator::{DocGenerator, Genre, SyntheticDoc};
+use crate::templates::BACKGROUND_GENRES;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Genre mix and size of a synthetic web.
+#[derive(Debug, Clone, Copy)]
+pub struct WebConfig {
+    /// Total number of documents.
+    pub total_docs: usize,
+    /// Fraction of documents that are trigger news, *per driver*.
+    pub trigger_fraction: f64,
+    /// Fraction that are distractor documents, per driver.
+    pub distractor_fraction: f64,
+    /// Fraction that are neutral business noise.
+    pub business_noise_fraction: f64,
+    /// RNG seed (drives both genre draws and document content).
+    pub seed: u64,
+    /// Fraction of entity names the NER gazetteer knows (see
+    /// [`crate::names::NameGenerator::known_fraction`]).
+    pub known_name_fraction: f64,
+    /// Fraction of documents that are *syndicated copies* of an earlier
+    /// document (same body with a light edit, different URL) — the
+    /// press-release wire phenomenon `etap::dedup` exists for. Default
+    /// 0 so the paper experiments are unaffected.
+    pub syndication_fraction: f64,
+}
+
+impl Default for WebConfig {
+    /// 4% trigger + 3% distractor per driver, 35% business noise, the
+    /// rest background — a web where trigger events are rare, as in
+    /// reality, but ordinary business boilerplate is everywhere (so a
+    /// classifier cannot win by merely detecting "business-ness").
+    fn default() -> Self {
+        Self {
+            total_docs: 2_000,
+            trigger_fraction: 0.04,
+            distractor_fraction: 0.03,
+            business_noise_fraction: 0.35,
+            seed: 0xE7A9,
+            known_name_fraction: 0.25,
+            syndication_fraction: 0.0,
+        }
+    }
+}
+
+impl WebConfig {
+    /// Config with a specific size, defaults elsewhere.
+    #[must_use]
+    pub fn with_docs(total_docs: usize) -> Self {
+        Self {
+            total_docs,
+            ..Self::default()
+        }
+    }
+
+    fn validate(&self) {
+        let events =
+            (self.trigger_fraction + self.distractor_fraction) * SalesDriver::ALL.len() as f64;
+        let total = events + self.business_noise_fraction;
+        assert!(
+            total <= 1.0 + 1e-9,
+            "genre fractions sum to {total}, must leave room for background"
+        );
+    }
+}
+
+/// A deterministic synthetic web.
+#[derive(Debug, Clone)]
+pub struct SyntheticWeb {
+    docs: Vec<SyntheticDoc>,
+    config: WebConfig,
+}
+
+impl SyntheticWeb {
+    /// Generate a web from a config.
+    #[must_use]
+    pub fn generate(config: WebConfig) -> Self {
+        config.validate();
+        let mut genre_rng = StdRng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15);
+        let mut gen = DocGenerator::with_known_fraction(config.seed, config.known_name_fraction);
+        let mut docs: Vec<SyntheticDoc> = Vec::with_capacity(config.total_docs);
+        for id in 0..config.total_docs {
+            // Syndication: republish an earlier document under a new URL
+            // with a light edit, as press-release wires do.
+            if config.syndication_fraction > 0.0
+                && !docs.is_empty()
+                && genre_rng.gen_bool(config.syndication_fraction.clamp(0.0, 1.0))
+            {
+                let src = &docs[genre_rng.gen_range(0..docs.len())];
+                let mut copy = src.clone();
+                copy.id = id;
+                copy.url = format!("http://wire.example.com/{id}");
+                copy.body = format!("{} Editors added minor context.", copy.body);
+                docs.push(copy);
+                continue;
+            }
+            let genre = draw_genre(&config, &mut genre_rng);
+            let mut doc = gen.generate(genre);
+            // Keep ids dense even when syndication skipped the internal
+            // generator counter.
+            doc.id = id;
+            doc.url = format!("http://news.example.com/{id}");
+            docs.push(doc);
+        }
+        Self { docs, config }
+    }
+
+    /// The configuration this web was generated from.
+    #[must_use]
+    pub fn config(&self) -> &WebConfig {
+        &self.config
+    }
+
+    /// All documents.
+    #[must_use]
+    pub fn docs(&self) -> &[SyntheticDoc] {
+        &self.docs
+    }
+
+    /// Document by id.
+    #[must_use]
+    pub fn doc(&self, id: usize) -> &SyntheticDoc {
+        &self.docs[id]
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the web holds no documents.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Documents that genuinely trigger `driver`.
+    pub fn trigger_docs(&self, driver: SalesDriver) -> impl Iterator<Item = &SyntheticDoc> {
+        self.docs
+            .iter()
+            .filter(move |d| d.trigger_driver() == Some(driver))
+    }
+
+    /// A random sample of `n` documents (for the negative class), by id.
+    #[must_use]
+    pub fn sample_ids(&self, n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n.min(self.len()))
+            .map(|_| rng.gen_range(0..self.len()))
+            .collect()
+    }
+}
+
+fn draw_genre(config: &WebConfig, rng: &mut StdRng) -> Genre {
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for driver in SalesDriver::ALL {
+        acc += config.trigger_fraction;
+        if x < acc {
+            return Genre::Trigger(driver);
+        }
+    }
+    for driver in SalesDriver::ALL {
+        acc += config.distractor_fraction;
+        if x < acc {
+            return Genre::Distractor(driver);
+        }
+    }
+    acc += config.business_noise_fraction;
+    if x < acc {
+        return Genre::BusinessNoise;
+    }
+    Genre::Background(rng.gen_range(0..BACKGROUND_GENRES.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let web = SyntheticWeb::generate(WebConfig::with_docs(300));
+        assert_eq!(web.len(), 300);
+        assert!(!web.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticWeb::generate(WebConfig::with_docs(100));
+        let b = SyntheticWeb::generate(WebConfig::with_docs(100));
+        for (da, db) in a.docs().iter().zip(b.docs()) {
+            assert_eq!(da.text(), db.text());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticWeb::generate(WebConfig {
+            seed: 1,
+            ..WebConfig::with_docs(50)
+        });
+        let b = SyntheticWeb::generate(WebConfig {
+            seed: 2,
+            ..WebConfig::with_docs(50)
+        });
+        let same = a
+            .docs()
+            .iter()
+            .zip(b.docs())
+            .filter(|(x, y)| x.text() == y.text())
+            .count();
+        assert!(same < 10, "{same} identical docs across seeds");
+    }
+
+    #[test]
+    fn genre_mix_roughly_matches_config() {
+        let web = SyntheticWeb::generate(WebConfig::with_docs(3000));
+        for driver in SalesDriver::ALL {
+            let count = web.trigger_docs(driver).count();
+            let expect = 3000.0 * web.config().trigger_fraction;
+            assert!(
+                (count as f64) > expect * 0.5 && (count as f64) < expect * 1.7,
+                "{driver}: {count} vs expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_ids_is_seeded_and_bounded() {
+        let web = SyntheticWeb::generate(WebConfig::with_docs(100));
+        let a = web.sample_ids(30, 5);
+        let b = web.sample_ids(30, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn syndication_produces_near_copies() {
+        let web = SyntheticWeb::generate(WebConfig {
+            syndication_fraction: 0.3,
+            ..WebConfig::with_docs(300)
+        });
+        let wire = web
+            .docs()
+            .iter()
+            .filter(|d| d.url.starts_with("http://wire."))
+            .count();
+        assert!(wire > 40, "{wire} syndicated copies");
+        // Ids stay dense.
+        for (i, d) in web.docs().iter().enumerate() {
+            assert_eq!(d.id, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "genre fractions")]
+    fn over_unity_fractions_rejected() {
+        let cfg = WebConfig {
+            trigger_fraction: 0.2,
+            distractor_fraction: 0.2,
+            business_noise_fraction: 0.5,
+            ..WebConfig::default()
+        };
+        let _ = SyntheticWeb::generate(cfg);
+    }
+}

@@ -1,0 +1,244 @@
+//! Classic feature-selection statistics.
+//!
+//! §3.2.1 of the paper: "statistical measures are used to compute the
+//! amount of information that tokens (features) contain with respect to
+//! the label-set. Standard measures used are χ², information gain, and
+//! mutual information. Features are ranked by one of these measures and
+//! only the top few … are retained."
+//!
+//! All three measures operate on the per-feature 2×2 contingency table
+//! of (feature present/absent) × (class positive/negative), accumulated
+//! by [`FeatureStats`].
+
+use crate::vectorize::SparseVec;
+use std::collections::HashMap;
+
+/// χ² statistic of a 2×2 contingency table.
+///
+/// `n11` = feature ∧ positive, `n10` = feature ∧ negative,
+/// `n01` = ¬feature ∧ positive, `n00` = ¬feature ∧ negative.
+#[must_use]
+pub fn chi_square(n11: f64, n10: f64, n01: f64, n00: f64) -> f64 {
+    let n = n11 + n10 + n01 + n00;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let row1 = n11 + n10;
+    let row0 = n01 + n00;
+    let col1 = n11 + n01;
+    let col0 = n10 + n00;
+    let denom = row1 * row0 * col1 * col0;
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let d = n11 * n00 - n10 * n01;
+    n * d * d / denom
+}
+
+/// Information gain (mutual information between the binary feature
+/// indicator and the class), in bits.
+#[must_use]
+pub fn information_gain(n11: f64, n10: f64, n01: f64, n00: f64) -> f64 {
+    let n = n11 + n10 + n01 + n00;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let h = |counts: &[f64]| crate::entropy::entropy(counts);
+    let h_y = h(&[n11 + n01, n10 + n00]);
+    let p_f = (n11 + n10) / n;
+    let h_y_given_f = p_f * h(&[n11, n10]) + (1.0 - p_f) * h(&[n01, n00]);
+    (h_y - h_y_given_f).max(0.0)
+}
+
+/// Pointwise mutual information between feature presence and the
+/// positive class: `log2( P(f, +) / (P(f) · P(+)) )`.
+///
+/// Returns 0 for features never seen with the positive class.
+#[must_use]
+pub fn mutual_information(n11: f64, n10: f64, n01: f64, n00: f64) -> f64 {
+    let n = n11 + n10 + n01 + n00;
+    if n == 0.0 || n11 == 0.0 {
+        return 0.0;
+    }
+    let p_f = (n11 + n10) / n;
+    let p_pos = (n11 + n01) / n;
+    let p_joint = n11 / n;
+    (p_joint / (p_f * p_pos)).log2()
+}
+
+/// Which statistic ranks the features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionMeasure {
+    /// χ² (default; robust for skewed classes).
+    #[default]
+    ChiSquare,
+    /// Information gain.
+    InformationGain,
+    /// Pointwise mutual information.
+    MutualInformation,
+}
+
+/// Accumulates per-feature document frequencies by class and ranks
+/// features.
+#[derive(Debug, Default, Clone)]
+pub struct FeatureStats {
+    /// feature id -> (docs containing it in positive, in negative).
+    counts: HashMap<u32, (u32, u32)>,
+    positives: u32,
+    negatives: u32,
+}
+
+impl FeatureStats {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one document's feature vector under its label
+    /// (`true` = positive class). Feature *presence* is what counts;
+    /// term frequencies are ignored, as in the standard formulations.
+    pub fn add(&mut self, vec: &SparseVec, positive: bool) {
+        if positive {
+            self.positives += 1;
+        } else {
+            self.negatives += 1;
+        }
+        for &(id, _) in vec.iter() {
+            let e = self.counts.entry(id).or_insert((0, 0));
+            if positive {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+    }
+
+    /// Number of documents seen, by class.
+    #[must_use]
+    pub fn totals(&self) -> (u32, u32) {
+        (self.positives, self.negatives)
+    }
+
+    /// Score one feature under `measure`.
+    #[must_use]
+    pub fn score(&self, feature: u32, measure: SelectionMeasure) -> f64 {
+        let (dfp, dfn) = self.counts.get(&feature).copied().unwrap_or((0, 0));
+        let n11 = f64::from(dfp);
+        let n10 = f64::from(dfn);
+        let n01 = f64::from(self.positives - dfp);
+        let n00 = f64::from(self.negatives - dfn);
+        match measure {
+            SelectionMeasure::ChiSquare => chi_square(n11, n10, n01, n00),
+            SelectionMeasure::InformationGain => information_gain(n11, n10, n01, n00),
+            SelectionMeasure::MutualInformation => mutual_information(n11, n10, n01, n00),
+        }
+    }
+
+    /// The `k` highest-scoring features, best first.
+    #[must_use]
+    pub fn top_k(&self, k: usize, measure: SelectionMeasure) -> Vec<(u32, f64)> {
+        let mut scored: Vec<(u32, f64)> = self
+            .counts
+            .keys()
+            .map(|&id| (id, self.score(id, measure)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectorize::SparseVec;
+
+    #[test]
+    fn chi_square_independence_is_zero() {
+        assert_eq!(chi_square(25.0, 25.0, 25.0, 25.0), 0.0);
+    }
+
+    #[test]
+    fn chi_square_perfect_association() {
+        // 2x2 with perfect association: chi2 == n.
+        let c = chi_square(50.0, 0.0, 0.0, 50.0);
+        assert!((c - 100.0).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn chi_square_symmetric_in_direction() {
+        // Perfect *negative* association scores equally high.
+        assert_eq!(
+            chi_square(0.0, 50.0, 50.0, 0.0),
+            chi_square(50.0, 0.0, 0.0, 50.0)
+        );
+    }
+
+    #[test]
+    fn information_gain_bounds() {
+        // Perfect predictor of a balanced class: IG = H(Y) = 1 bit.
+        let ig = information_gain(50.0, 0.0, 0.0, 50.0);
+        assert!((ig - 1.0).abs() < 1e-9);
+        assert_eq!(information_gain(25.0, 25.0, 25.0, 25.0), 0.0);
+    }
+
+    #[test]
+    fn mutual_information_sign() {
+        // Feature over-represented in positives: MI > 0.
+        assert!(mutual_information(40.0, 10.0, 10.0, 40.0) > 0.0);
+        // Feature over-represented in negatives: MI < 0.
+        assert!(mutual_information(10.0, 40.0, 40.0, 10.0) < 0.0);
+        // Unseen with positives: defined 0.
+        assert_eq!(mutual_information(0.0, 50.0, 50.0, 0.0), 0.0);
+    }
+
+    fn vecf(ids: &[u32]) -> SparseVec {
+        SparseVec::from_pairs(ids.iter().map(|&i| (i, 1.0)).collect())
+    }
+
+    #[test]
+    fn stats_rank_discriminative_feature_first() {
+        let mut st = FeatureStats::new();
+        // Feature 1 appears only in positives, feature 2 in both,
+        // feature 3 only in negatives.
+        for _ in 0..20 {
+            st.add(&vecf(&[1, 2]), true);
+            st.add(&vecf(&[2, 3]), false);
+        }
+        let top = st.top_k(3, SelectionMeasure::ChiSquare);
+        assert_eq!(top.len(), 3);
+        // 1 and 3 are both perfectly discriminative, 2 is useless.
+        assert_eq!(top[2].0, 2);
+        assert!(top[0].1 > top[2].1);
+    }
+
+    #[test]
+    fn stats_totals() {
+        let mut st = FeatureStats::new();
+        st.add(&vecf(&[1]), true);
+        st.add(&vecf(&[1]), false);
+        st.add(&vecf(&[1]), false);
+        assert_eq!(st.totals(), (1, 2));
+    }
+
+    #[test]
+    fn unknown_feature_scores_zero() {
+        let mut st = FeatureStats::new();
+        st.add(&vecf(&[1]), true);
+        st.add(&vecf(&[2]), false);
+        assert_eq!(st.score(99, SelectionMeasure::ChiSquare), 0.0);
+    }
+
+    #[test]
+    fn top_k_truncates_and_is_deterministic() {
+        let mut st = FeatureStats::new();
+        for i in 0..10u32 {
+            st.add(&vecf(&[i]), i % 2 == 0);
+        }
+        let top = st.top_k(4, SelectionMeasure::InformationGain);
+        assert_eq!(top.len(), 4);
+        let again = st.top_k(4, SelectionMeasure::InformationGain);
+        assert_eq!(top, again);
+    }
+}

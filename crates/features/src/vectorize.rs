@@ -1,0 +1,392 @@
+//! Sparse feature vectors and the abstraction-aware vectorizer.
+//!
+//! The vectorizer is where feature abstraction actually happens: it walks
+//! an annotated snippet and, per token, consults the
+//! [`AbstractionPolicy`]:
+//!
+//! * entity tokens whose category is **Abstract** emit the category tag
+//!   (`NE:ORG`) once per entity occurrence;
+//! * entity tokens under **Instance** emit the normalized entity surface
+//!   (`ne=bank of america`);
+//! * plain tokens under **Instance** emit the stemmed, lowercased word
+//!   (stop words and punctuation dropped);
+//! * plain tokens under **Abstract** emit the POS tag (`pos:vb`);
+//! * **Drop** emits nothing.
+//!
+//! Feature strings are interned in a shared [`Vocabulary`] so vectors
+//! hold dense `u32` ids.
+
+use crate::abstraction::{AbstractionPolicy, CategoryChoice};
+use etap_annotate::{AnnotatedSnippet, PosTag};
+use etap_text::{is_stopword, stem, Vocabulary};
+
+/// A sparse feature vector: (feature id, count) pairs sorted by id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    pairs: Vec<(u32, f32)>,
+}
+
+impl SparseVec {
+    /// Build from unsorted (id, count) pairs; duplicate ids are summed.
+    #[must_use]
+    pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        let mut out: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
+        for (id, c) in pairs {
+            match out.last_mut() {
+                Some((last_id, last_c)) if *last_id == id => *last_c += c,
+                _ => out.push((id, c)),
+            }
+        }
+        Self { pairs: out }
+    }
+
+    /// Iterate (id, count) pairs in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (u32, f32)> {
+        self.pairs.iter()
+    }
+
+    /// Number of distinct features.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the vector has no features.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Sum of counts (document length under the multinomial model).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.pairs.iter().map(|&(_, c)| f64::from(c)).sum()
+    }
+
+    /// Count for a feature id (0 when absent).
+    #[must_use]
+    pub fn get(&self, id: u32) -> f32 {
+        self.pairs
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .map_or(0.0, |k| self.pairs[k].1)
+    }
+
+    /// Dot product with a dense weight vector (ids beyond its length
+    /// contribute nothing).
+    #[must_use]
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        self.pairs
+            .iter()
+            .filter_map(|&(id, c)| dense.get(id as usize).map(|w| w * f64::from(c)))
+            .sum()
+    }
+
+    /// Binarize: every positive count becomes 1 (Bernoulli view).
+    #[must_use]
+    pub fn binarized(&self) -> SparseVec {
+        SparseVec {
+            pairs: self.pairs.iter().map(|&(id, _)| (id, 1.0)).collect(),
+        }
+    }
+}
+
+impl FromIterator<(u32, f32)> for SparseVec {
+    fn from_iter<T: IntoIterator<Item = (u32, f32)>>(iter: T) -> Self {
+        Self::from_pairs(iter.into_iter().collect())
+    }
+}
+
+/// Turns annotated snippets into sparse vectors under a policy.
+#[derive(Debug, Clone)]
+pub struct Vectorizer {
+    policy: AbstractionPolicy,
+    vocab: Vocabulary,
+    /// When true (default), unseen features found at *inference* time are
+    /// skipped instead of interned, keeping the trained feature space
+    /// closed.
+    frozen: bool,
+    /// Also emit `w1_w2` bigram features for adjacent instance-kept
+    /// words ("will_acquir", "step_down").
+    bigrams: bool,
+}
+
+impl Vectorizer {
+    /// New vectorizer with the given policy and an empty vocabulary.
+    #[must_use]
+    pub fn new(policy: AbstractionPolicy) -> Self {
+        Self {
+            policy,
+            vocab: Vocabulary::new(),
+            frozen: false,
+            bigrams: false,
+        }
+    }
+
+    /// Enable word-bigram features (`w1_w2` for adjacent instance-kept
+    /// words): multiword event phrases ("definitive agreement", "steps
+    /// down") become single features.
+    #[must_use]
+    pub fn with_bigrams(mut self, enabled: bool) -> Self {
+        self.bigrams = enabled;
+        self
+    }
+
+    /// The paper's default policy.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(AbstractionPolicy::paper_default())
+    }
+
+    /// Reassemble a vectorizer from persisted parts (policy + the
+    /// vocabulary in id order). The result is frozen: a deserialized
+    /// feature space must stay closed.
+    #[must_use]
+    pub fn from_parts(policy: AbstractionPolicy, vocab: Vocabulary, bigrams: bool) -> Self {
+        Self {
+            policy,
+            vocab,
+            frozen: true,
+            bigrams,
+        }
+    }
+
+    /// Whether bigram features are enabled.
+    #[must_use]
+    pub fn has_bigrams(&self) -> bool {
+        self.bigrams
+    }
+
+    /// Freeze the vocabulary: subsequent vectorizations ignore unseen
+    /// features. Call after processing the training set.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Whether the vocabulary is frozen.
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// The vocabulary accumulated so far.
+    #[must_use]
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> &AbstractionPolicy {
+        &self.policy
+    }
+
+    /// Vectorize one annotated snippet.
+    #[must_use]
+    pub fn vectorize(&mut self, snip: &AnnotatedSnippet) -> SparseVec {
+        let mut pairs: Vec<(u32, f32)> = Vec::with_capacity(snip.tokens.len() / 2);
+        let mut feature = String::new();
+        let mut seen_tags: Vec<u32> = Vec::new();
+
+        // Entity-level features. Under **Abstract** the representation
+        // is presence/absence (the paper's PA), so the tag feature is
+        // emitted at most once per snippet no matter how many entities
+        // of the category occur — otherwise entity-dense background
+        // text (market roundups naming five companies) gets its NE:ORG
+        // evidence multiplied and swamps the event vocabulary.
+        for (ei, ent) in snip.entities.iter().enumerate() {
+            feature.clear();
+            match self.policy.entity_choice(ent.category) {
+                CategoryChoice::Abstract => {
+                    feature.push_str("NE:");
+                    feature.push_str(ent.category.tag());
+                    if let Some(id) = self.intern(&feature) {
+                        if !seen_tags.contains(&id) {
+                            seen_tags.push(id);
+                            pairs.push((id, 1.0));
+                        }
+                    }
+                }
+                CategoryChoice::Instance => {
+                    feature.push_str("ne=");
+                    feature.push_str(&snip.entity_text(ei).to_lowercase());
+                    if let Some(id) = self.intern(&feature) {
+                        pairs.push((id, 1.0));
+                    }
+                }
+                CategoryChoice::Drop => continue,
+            }
+        }
+
+        // Token-level features for tokens outside entities.
+        let mut last_instance: Option<(usize, String)> = None;
+        for (ti, tok) in snip.tokens.iter().enumerate() {
+            if tok.entity.is_some() || tok.pos == PosTag::Punct {
+                continue;
+            }
+            feature.clear();
+            match self.policy.pos_choice(tok.pos) {
+                CategoryChoice::Abstract => {
+                    feature.push_str("pos:");
+                    feature.push_str(tok.pos.tag());
+                }
+                CategoryChoice::Instance => {
+                    let lower = tok.text.to_lowercase();
+                    if is_stopword(&lower) {
+                        continue;
+                    }
+                    feature.push_str(&stem(&lower));
+                    if self.bigrams {
+                        if let Some((prev_ti, prev)) = &last_instance {
+                            if prev_ti + 1 == ti {
+                                let bigram = format!("{prev}_{feature}");
+                                if let Some(id) = self.intern(&bigram) {
+                                    pairs.push((id, 1.0));
+                                }
+                            }
+                        }
+                        last_instance = Some((ti, feature.clone()));
+                    }
+                }
+                CategoryChoice::Drop => continue,
+            }
+            if let Some(id) = self.intern(&feature) {
+                pairs.push((id, 1.0));
+            }
+        }
+
+        SparseVec::from_pairs(pairs)
+    }
+
+    fn intern(&mut self, feature: &str) -> Option<u32> {
+        if self.frozen {
+            self.vocab.get(feature)
+        } else {
+            Some(self.vocab.intern(feature))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::AbstractionPolicy;
+    use etap_annotate::Annotator;
+
+    fn vectorizer() -> Vectorizer {
+        Vectorizer::paper_default()
+    }
+
+    fn annotate(text: &str) -> AnnotatedSnippet {
+        Annotator::new().annotate(text)
+    }
+
+    #[test]
+    fn sparse_vec_from_pairs_sums_duplicates() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 1.5)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(3), 2.5);
+        assert_eq!(v.get(1), 2.0);
+        assert_eq!(v.get(7), 0.0);
+        assert!((v.total() - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_vec_dot() {
+        let v = SparseVec::from_pairs(vec![(0, 1.0), (2, 3.0)]);
+        let dense = [2.0, 100.0, 0.5];
+        assert!((v.dot(&dense) - 3.5).abs() < 1e-9);
+        // Out-of-range ids are ignored.
+        let w = SparseVec::from_pairs(vec![(10, 1.0)]);
+        assert_eq!(w.dot(&dense), 0.0);
+    }
+
+    #[test]
+    fn binarized_clamps_counts() {
+        let v = SparseVec::from_pairs(vec![(1, 5.0), (2, 0.5)]);
+        let b = v.binarized();
+        assert_eq!(b.get(1), 1.0);
+        assert_eq!(b.get(2), 1.0);
+    }
+
+    #[test]
+    fn abstraction_collapses_entity_instances() {
+        let mut vz = vectorizer();
+        let a = vz.vectorize(&annotate("IBM acquired Daksh."));
+        let b = vz.vectorize(&annotate("Oracle acquired PeopleSoft."));
+        // Both map to {NE:ORG, "acquir"}: identical vectors.
+        assert_eq!(a, b);
+        // PA semantics: the tag fires once per snippet, not per entity.
+        let org_id = vz.vocabulary().get("NE:ORG").expect("NE:ORG interned");
+        assert_eq!(a.get(org_id), 1.0);
+    }
+
+    #[test]
+    fn bag_of_words_keeps_entity_instances() {
+        let mut vz = Vectorizer::new(AbstractionPolicy::bag_of_words());
+        let a = vz.vectorize(&annotate("IBM acquired Daksh."));
+        let b = vz.vectorize(&annotate("Oracle acquired PeopleSoft."));
+        assert_ne!(a, b);
+        assert!(vz.vocabulary().get("ne=ibm").is_some());
+    }
+
+    #[test]
+    fn stopwords_and_punct_dropped() {
+        let mut vz = vectorizer();
+        let v = vz.vectorize(&annotate("The profits of the firm rose."));
+        // "the"/"of" are Dt/In → dropped by policy; words are stemmed.
+        assert!(vz.vocabulary().get("the").is_none());
+        assert!(vz.vocabulary().get("of").is_none());
+        assert!(vz.vocabulary().get("profit").is_some());
+        assert!(v.nnz() >= 2);
+    }
+
+    #[test]
+    fn frozen_vectorizer_skips_unseen() {
+        let mut vz = vectorizer();
+        let _ = vz.vectorize(&annotate("profits rose sharply."));
+        let before = vz.vocabulary().len();
+        vz.freeze();
+        let v = vz.vectorize(&annotate("unprecedented zebra escapades."));
+        assert_eq!(vz.vocabulary().len(), before);
+        assert!(v.is_empty() || v.nnz() < 3);
+    }
+
+    #[test]
+    fn words_are_stemmed() {
+        let mut vz = vectorizer();
+        let a = vz.vectorize(&annotate("several acquisitions happened."));
+        let b = vz.vectorize(&annotate("one acquisition happened."));
+        let id = vz.vocabulary().get("acquisit").expect("stemmed feature");
+        assert!(a.get(id) > 0.0);
+        assert!(b.get(id) > 0.0);
+    }
+
+    #[test]
+    fn empty_snippet_empty_vector() {
+        let mut vz = vectorizer();
+        let v = vz.vectorize(&annotate(""));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn bigram_features_for_adjacent_words() {
+        let mut vz = Vectorizer::paper_default().with_bigrams(true);
+        let v = vz.vectorize(&annotate("profits rose sharply."));
+        assert!(
+            vz.vocabulary().get("rose_sharpli").is_some(),
+            "{:?}",
+            vz.vocabulary().iter().collect::<Vec<_>>()
+        );
+        assert!(v.nnz() >= 4); // 3 unigrams (profit, rose, sharpli) + bigrams
+    }
+
+    #[test]
+    fn bigrams_do_not_cross_entities_or_stopwords() {
+        let mut vz = Vectorizer::paper_default().with_bigrams(true);
+        let _ = vz.vectorize(&annotate("profits of IBM rose."));
+        // "profit" and "rose" are separated by a stopword + entity — no
+        // "profit_rose" bigram.
+        assert!(vz.vocabulary().get("profit_rose").is_none());
+    }
+}

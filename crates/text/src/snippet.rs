@@ -1,0 +1,231 @@
+//! Snippet generation.
+//!
+//! ETAP's unit of classification is the *snippet*: "a group of n
+//! consecutive sentences. We have used n = 3 in our system" (paper §3.1).
+//! The motivation the paper gives is that "a snippet conveys a precise
+//! piece of information, in contrast with the entire document that
+//! contains the snippet".
+
+use crate::sentence::{SentenceChunker, SentenceSpan};
+
+/// A snippet: `n` consecutive sentences from one document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snippet {
+    /// The snippet text (sentences joined with a single space).
+    pub text: String,
+    /// Byte span of the snippet in the source document (first sentence
+    /// start to last sentence end).
+    pub start: usize,
+    /// End byte offset in the source document.
+    pub end: usize,
+    /// Index of the first sentence of this snippet within the document.
+    pub first_sentence: usize,
+    /// Number of sentences in this snippet (`<= n`; trailing snippets of
+    /// a short document may be shorter).
+    pub len: usize,
+}
+
+/// How consecutive snippet windows advance through the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// Disjoint windows: sentences 0..n, n..2n, … (ETAP's default — each
+    /// sentence belongs to exactly one snippet).
+    Disjoint,
+    /// Sliding windows with stride 1: sentences 0..n, 1..n+1, … up to the
+    /// last *full* window (a document shorter than `n` sentences yields a
+    /// single partial window). Useful when recall matters more than
+    /// snippet count.
+    Sliding,
+}
+
+/// Splits documents into snippets of `n` consecutive sentences.
+///
+/// ```
+/// use etap_text::SnippetGenerator;
+/// let gen = SnippetGenerator::new(2);
+/// let doc = "One. Two. Three. Four. Five.";
+/// let snips = gen.snippets(doc);
+/// assert_eq!(snips.len(), 3);
+/// assert_eq!(snips[0].text, "One. Two.");
+/// assert_eq!(snips[2].text, "Five.");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnippetGenerator {
+    chunker: SentenceChunker,
+    n: usize,
+    mode: WindowMode,
+}
+
+impl Default for SnippetGenerator {
+    /// The paper's configuration: disjoint windows of `n = 3` sentences.
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+impl SnippetGenerator {
+    /// Create a generator producing disjoint windows of `n` sentences.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "snippet window must contain at least one sentence");
+        Self {
+            chunker: SentenceChunker::new(),
+            n,
+            mode: WindowMode::Disjoint,
+        }
+    }
+
+    /// Switch to sliding (stride-1) windows.
+    #[must_use]
+    pub fn sliding(mut self) -> Self {
+        self.mode = WindowMode::Sliding;
+        self
+    }
+
+    /// The window size `n`.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.n
+    }
+
+    /// Split `doc` into snippets.
+    #[must_use]
+    pub fn snippets(&self, doc: &str) -> Vec<Snippet> {
+        let spans = self.chunker.sentences(doc);
+        self.snippets_from_spans(doc, &spans)
+    }
+
+    /// Build snippets from pre-computed sentence spans (avoids re-running
+    /// the chunker when the caller already has them).
+    #[must_use]
+    pub fn snippets_from_spans(&self, doc: &str, spans: &[SentenceSpan]) -> Vec<Snippet> {
+        let mut out = Vec::new();
+        if spans.is_empty() {
+            return out;
+        }
+        let stride = match self.mode {
+            WindowMode::Disjoint => self.n,
+            WindowMode::Sliding => 1,
+        };
+        let mut first = 0usize;
+        while first < spans.len() {
+            let last = usize::min(first + self.n, spans.len());
+            let window = &spans[first..last];
+            let mut text = String::with_capacity(window.iter().map(|s| s.end - s.start + 1).sum());
+            for (k, s) in window.iter().enumerate() {
+                if k > 0 {
+                    text.push(' ');
+                }
+                text.push_str(s.text(doc));
+            }
+            out.push(Snippet {
+                text,
+                start: window[0].start,
+                end: window[window.len() - 1].end,
+                first_sentence: first,
+                len: window.len(),
+            });
+            if self.mode == WindowMode::Sliding && last == spans.len() {
+                break; // last full (or single partial) window emitted
+            }
+            first += stride;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "One. Two. Three. Four. Five. Six. Seven.";
+
+    #[test]
+    fn default_is_paper_config() {
+        let g = SnippetGenerator::default();
+        assert_eq!(g.window(), 3);
+    }
+
+    #[test]
+    fn disjoint_windows_cover_every_sentence_once() {
+        let g = SnippetGenerator::new(3);
+        let snips = g.snippets(DOC);
+        assert_eq!(snips.len(), 3);
+        assert_eq!(snips[0].text, "One. Two. Three.");
+        assert_eq!(snips[1].text, "Four. Five. Six.");
+        assert_eq!(snips[2].text, "Seven.");
+        let total: usize = snips.iter().map(|s| s.len).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn sliding_windows_stride_one() {
+        let g = SnippetGenerator::new(3).sliding();
+        let snips = g.snippets("Aa. Bb. Cc. Dd.");
+        assert_eq!(snips.len(), 2);
+        assert_eq!(snips[0].text, "Aa. Bb. Cc.");
+        assert_eq!(snips[1].text, "Bb. Cc. Dd.");
+    }
+
+    #[test]
+    fn sliding_short_document_single_partial() {
+        let g = SnippetGenerator::new(3).sliding();
+        let snips = g.snippets("Aa. Bb.");
+        assert_eq!(snips.len(), 1);
+        assert_eq!(snips[0].text, "Aa. Bb.");
+    }
+
+    #[test]
+    fn window_of_one_yields_sentences() {
+        let g = SnippetGenerator::new(1);
+        let snips = g.snippets("Aa. Bb.");
+        assert_eq!(snips.len(), 2);
+        assert_eq!(snips[0].text, "Aa.");
+    }
+
+    #[test]
+    fn short_document_single_partial_snippet() {
+        let g = SnippetGenerator::new(3);
+        let snips = g.snippets("Only one sentence here.");
+        assert_eq!(snips.len(), 1);
+        assert_eq!(snips[0].len, 1);
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(SnippetGenerator::new(3).snippets("").is_empty());
+    }
+
+    #[test]
+    fn snippet_spans_map_into_document() {
+        let g = SnippetGenerator::new(2);
+        for s in g.snippets(DOC) {
+            assert!(s.start < s.end && s.end <= DOC.len());
+            // Snippet text is the in-document text modulo whitespace.
+            let in_doc: String = DOC[s.start..s.end]
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ");
+            assert_eq!(in_doc, s.text);
+        }
+    }
+
+    #[test]
+    fn first_sentence_indices_advance() {
+        let g = SnippetGenerator::new(3);
+        let snips = g.snippets(DOC);
+        assert_eq!(
+            snips.iter().map(|s| s.first_sentence).collect::<Vec<_>>(),
+            vec![0, 3, 6]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sentence")]
+    fn zero_window_panics() {
+        let _ = SnippetGenerator::new(0);
+    }
+}

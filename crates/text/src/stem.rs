@@ -1,0 +1,432 @@
+//! Porter stemmer.
+//!
+//! The paper lists stemming among the standard text pre-processing steps
+//! ("simple operations such as changing all text to lower case, stemming,
+//! and stop-word elimination", §3.2.1). This is a from-scratch
+//! implementation of M. F. Porter's 1980 algorithm, the de-facto standard
+//! stemmer for English IR systems of the paper's era.
+//!
+//! The implementation operates on ASCII lowercase bytes; callers should
+//! lowercase first (non-ASCII input is returned unchanged).
+
+/// Stem a lowercase English word with the Porter algorithm.
+///
+/// ```
+/// use etap_text::stem;
+/// assert_eq!(stem("acquisitions"), "acquisit");
+/// assert_eq!(stem("merging"), "merg");
+/// assert_eq!(stem("agreed"), "agre");
+/// assert_eq!(stem("growth"), "growth");
+/// ```
+#[must_use]
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The measure m of the stem b[0..=j]: number of VC sequences.
+    fn measure(&self, j: usize) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        loop {
+            if i > j {
+                return n;
+            }
+            if !self.is_consonant(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            // Skip vowels.
+            loop {
+                if i > j {
+                    return n;
+                }
+                if self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            // Skip consonants.
+            loop {
+                if i > j {
+                    return n;
+                }
+                if !self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Does the stem b[0..=j] contain a vowel?
+    fn has_vowel(&self, j: usize) -> bool {
+        (0..=j).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does b[0..=j] end with a double consonant?
+    fn double_consonant(&self, j: usize) -> bool {
+        j >= 1 && self.b[j] == self.b[j - 1] && self.is_consonant(j)
+    }
+
+    /// cvc test: b[i-2..=i] is consonant-vowel-consonant and the final
+    /// consonant is not w, x or y.
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    fn ends(&self, suffix: &[u8]) -> bool {
+        self.b.len() >= suffix.len() && self.b.ends_with(suffix)
+    }
+
+    /// Length of the stem if `suffix` were removed, minus one (i.e. the
+    /// index j of the last stem byte). Caller must have checked `ends`.
+    fn stem_j(&self, suffix: &[u8]) -> usize {
+        self.b.len() - suffix.len() - 1
+    }
+
+    fn set_to(&mut self, suffix_len: usize, replacement: &[u8]) {
+        let keep = self.b.len() - suffix_len;
+        self.b.truncate(keep);
+        self.b.extend_from_slice(replacement);
+    }
+
+    /// Replace `suffix` with `replacement` if the remaining stem has
+    /// measure > 0. Returns true if the suffix matched (even if the
+    /// measure condition failed, per the original algorithm's rule
+    /// ordering: first matching suffix wins).
+    fn replace_m0(&mut self, suffix: &[u8], replacement: &[u8]) -> bool {
+        if self.ends(suffix) {
+            if self.measure(self.stem_j(suffix)) > 0 {
+                self.set_to(suffix.len(), replacement);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Step 1a: plurals. SSES→SS, IES→I, SS→SS, S→"".
+    fn step1a(&mut self) {
+        if self.ends(b"sses") {
+            self.set_to(2, b"");
+        } else if self.ends(b"ies") {
+            self.set_to(3, b"i");
+        } else if self.ends(b"ss") {
+            // leave
+        } else if self.ends(b"s") {
+            self.set_to(1, b"");
+        }
+    }
+
+    /// Step 1b: -ed and -ing.
+    fn step1b(&mut self) {
+        let mut second = false;
+        if self.ends(b"eed") {
+            if self.measure(self.stem_j(b"eed")) > 0 {
+                self.set_to(1, b"");
+            }
+        } else if self.ends(b"ed") && self.has_vowel(self.stem_j(b"ed")) {
+            self.set_to(2, b"");
+            second = true;
+        } else if self.ends(b"ing") && self.b.len() > 3 && self.has_vowel(self.stem_j(b"ing")) {
+            self.set_to(3, b"");
+            second = true;
+        }
+        if second {
+            if self.ends(b"at") || self.ends(b"bl") || self.ends(b"iz") {
+                self.b.push(b'e');
+            } else if self.double_consonant(self.b.len() - 1)
+                && !matches!(self.b[self.b.len() - 1], b'l' | b's' | b'z')
+            {
+                self.b.truncate(self.b.len() - 1);
+            } else if self.measure(self.b.len() - 1) == 1 && self.cvc(self.b.len() - 1) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    /// Step 1c: Y→I when there is another vowel in the stem.
+    fn step1c(&mut self) {
+        if self.ends(b"y") && self.b.len() >= 2 && self.has_vowel(self.b.len() - 2) {
+            let last = self.b.len() - 1;
+            self.b[last] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        // Ordered by penultimate letter, as in the original description.
+        let rules: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"abli", b"able"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+        ];
+        for (suf, rep) in rules {
+            if self.replace_m0(suf, rep) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        let rules: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for (suf, rep) in rules {
+            if self.replace_m0(suf, rep) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        let rules: &[&[u8]] = &[
+            b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+            b"ent",
+        ];
+        for suf in rules {
+            if self.ends(suf) {
+                if self.measure(self.stem_j(suf)) > 1 {
+                    self.set_to(suf.len(), b"");
+                }
+                return;
+            }
+        }
+        // (m>1 and (*S or *T)) ION
+        if self.ends(b"ion") {
+            let j = self.stem_j(b"ion");
+            if self.measure(j) > 1 && matches!(self.b[j], b's' | b't') {
+                self.set_to(3, b"");
+            }
+            return;
+        }
+        for suf in [&b"ou"[..], b"ism", b"ate", b"iti", b"ous", b"ive", b"ize"] {
+            if self.ends(suf) {
+                if self.measure(self.stem_j(suf)) > 1 {
+                    self.set_to(suf.len(), b"");
+                }
+                return;
+            }
+        }
+    }
+
+    /// Step 5a: remove final E when m > 1, or m == 1 and not *o.
+    fn step5a(&mut self) {
+        if self.ends(b"e") {
+            let j = self.b.len() - 2;
+            let m = self.measure(j);
+            if m > 1 || (m == 1 && !self.cvc(j)) {
+                self.b.truncate(self.b.len() - 1);
+            }
+        }
+    }
+
+    /// Step 5b: LL → L when m > 1.
+    fn step5b(&mut self) {
+        let last = self.b.len() - 1;
+        if self.b[last] == b'l' && self.double_consonant(last) && self.measure(last) > 1 {
+            self.b.truncate(self.b.len() - 1);
+        }
+    }
+}
+
+/// Lowercase, then stem. Convenience for pipeline code.
+#[must_use]
+pub fn normalize_and_stem(word: &str) -> String {
+    stem(&word.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference pairs from Porter's published vocabulary samples.
+    #[test]
+    fn porter_reference_cases() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn business_vocabulary() {
+        assert_eq!(stem("acquisitions"), "acquisit");
+        assert_eq!(stem("acquired"), "acquir");
+        assert_eq!(stem("acquires"), "acquir");
+        assert_eq!(stem("merger"), "merger"); // m=1 stem "merg" keeps -er
+        assert_eq!(stem("merging"), "merg");
+        assert_eq!(stem("revenues"), "revenu");
+        assert_eq!(stem("appointed"), "appoint");
+        assert_eq!(stem("announcement"), "announc");
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("it"), "it");
+    }
+
+    #[test]
+    fn non_ascii_and_mixed_case_unchanged() {
+        assert_eq!(stem("Société"), "Société");
+        assert_eq!(stem("IBM"), "IBM");
+        assert_eq!(stem("O'Brien"), "O'Brien");
+    }
+
+    #[test]
+    fn normalize_and_stem_lowercases() {
+        assert_eq!(normalize_and_stem("Acquisitions"), "acquisit");
+        assert_eq!(normalize_and_stem("MERGING"), "merg");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        // Stemming a stem should usually be a no-op; check a sample.
+        for w in ["acquisit", "merg", "revenu", "appoint", "profit"] {
+            assert_eq!(stem(&stem(w)), stem(w));
+        }
+    }
+}

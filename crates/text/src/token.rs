@@ -1,0 +1,365 @@
+//! Offset-preserving tokenizer.
+//!
+//! The tokenizer is the very first stage of the ETAP pipeline: documents
+//! are tokenized before sentence chunking, named-entity annotation and
+//! feature extraction. Tokens carry their byte span in the source text so
+//! that annotations produced later (entity spans, sentence spans) can be
+//! mapped back to the original document for display, exactly like the
+//! ETAP UI snapshots in Figures 7 and 8 of the paper.
+
+use std::fmt;
+
+/// Coarse lexical shape of a token, computed during tokenization.
+///
+/// The shape is used by the part-of-speech tagger (capitalisation cues)
+/// and the named-entity recognizer (numbers, currency symbols and
+/// ordinals participate in CURRENCY/PRCNT/CNT rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// All-lowercase alphabetic word (`acquired`).
+    Lower,
+    /// Word with an initial capital followed by lowercase (`Monsanto`).
+    Capitalized,
+    /// Word entirely in capitals, length ≥ 2 (`IBM`).
+    AllCaps,
+    /// Mixed-case word that fits none of the above (`eShopMonitor`).
+    MixedCase,
+    /// Pure digit run (`1996`, `42`).
+    Number,
+    /// Number containing `.` or `,` separators (`5.3`, `1,200,000`).
+    DecimalNumber,
+    /// Ordinal number (`4th`, `22nd`).
+    Ordinal,
+    /// Alphanumeric mix that is not an ordinal (`Q3`, `B2B`).
+    Alphanumeric,
+    /// A single punctuation or symbol character (`.`, `$`, `%`).
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether this token is a word (alphabetic or alphanumeric), as
+    /// opposed to a number or punctuation.
+    #[must_use]
+    pub fn is_word(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Lower
+                | TokenKind::Capitalized
+                | TokenKind::AllCaps
+                | TokenKind::MixedCase
+                | TokenKind::Alphanumeric
+        )
+    }
+
+    /// Whether this token is numeric (`Number`, `DecimalNumber` or
+    /// `Ordinal`).
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Number | TokenKind::DecimalNumber | TokenKind::Ordinal
+        )
+    }
+}
+
+/// A single token: a borrowed slice of the source text plus its byte span
+/// and lexical shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, borrowed from the source document.
+    pub text: &'a str,
+    /// Byte offset of the first byte of the token in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// Lexical shape.
+    pub kind: TokenKind,
+}
+
+impl<'a> Token<'a> {
+    /// Lowercased copy of the token text. Allocates only when the token
+    /// contains an uppercase character.
+    #[must_use]
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// Whether the token starts with an uppercase letter.
+    #[must_use]
+    pub fn is_capitalized(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Capitalized | TokenKind::AllCaps | TokenKind::MixedCase
+        ) && self.text.chars().next().is_some_and(char::is_uppercase)
+    }
+}
+
+impl fmt::Display for Token<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+fn classify_word(text: &str) -> TokenKind {
+    let mut chars = text.chars();
+    let first = chars.next().expect("token is non-empty");
+    let has_digit = text.chars().any(|c| c.is_ascii_digit());
+    let has_alpha = text.chars().any(char::is_alphabetic);
+
+    if has_digit && has_alpha {
+        // Ordinals: digits followed by st/nd/rd/th.
+        let digits_end = text
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map_or(text.len(), |(i, _)| i);
+        let suffix = &text[digits_end..];
+        if digits_end > 0
+            && matches!(
+                suffix.to_ascii_lowercase().as_str(),
+                "st" | "nd" | "rd" | "th"
+            )
+        {
+            return TokenKind::Ordinal;
+        }
+        return TokenKind::Alphanumeric;
+    }
+    if has_digit {
+        if text.contains('.') || text.contains(',') {
+            return TokenKind::DecimalNumber;
+        }
+        return TokenKind::Number;
+    }
+    if first.is_uppercase() {
+        let rest_lower = chars.clone().all(|c| !c.is_uppercase());
+        let rest_upper = text.chars().skip(1).all(|c| c.is_uppercase());
+        if text.chars().count() >= 2 && rest_upper {
+            TokenKind::AllCaps
+        } else if rest_lower {
+            TokenKind::Capitalized
+        } else {
+            TokenKind::MixedCase
+        }
+    } else if text.chars().skip(1).any(char::is_uppercase) {
+        TokenKind::MixedCase
+    } else {
+        TokenKind::Lower
+    }
+}
+
+/// Is `c` a character that continues a word token?
+///
+/// Apostrophes and hyphens join word parts (`O'Brien`, `third-quarter`);
+/// dots and commas join digits (`5.3`, `1,200`).
+fn continues(prev: char, c: char, next: Option<char>) -> bool {
+    if c.is_alphanumeric() {
+        return true;
+    }
+    match c {
+        '\'' | '\u{2019}' => next.is_some_and(char::is_alphabetic) && prev.is_alphabetic(),
+        '-' => next.is_some_and(char::is_alphanumeric) && prev.is_alphanumeric(),
+        '.' | ',' => {
+            // Only inside digit runs: 5.3, 1,200,000.
+            prev.is_ascii_digit() && next.is_some_and(|n| n.is_ascii_digit())
+        }
+        _ => false,
+    }
+}
+
+/// Tokenize `text` into words, numbers and punctuation.
+///
+/// Guarantees:
+/// * spans are non-overlapping, strictly increasing, and lie on character
+///   boundaries of `text`;
+/// * concatenating `token.text` over all tokens reproduces `text` minus
+///   whitespace and control characters;
+/// * every non-whitespace character of `text` is covered by exactly one
+///   token.
+///
+/// ```
+/// use etap_text::{tokenize, TokenKind};
+/// let toks = tokenize("IBM acquired Daksh for $160 million.");
+/// let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+/// assert_eq!(
+///     texts,
+///     ["IBM", "acquired", "Daksh", "for", "$", "160", "million", "."]
+/// );
+/// assert_eq!(toks[0].kind, TokenKind::AllCaps);
+/// assert_eq!(toks[4].kind, TokenKind::Punct);
+/// assert_eq!(toks[5].kind, TokenKind::Number);
+/// ```
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    let mut tokens = Vec::with_capacity(text.len() / 5);
+    let mut iter = text.char_indices().peekable();
+
+    while let Some((start, c)) = iter.next() {
+        if c.is_whitespace() || c.is_control() {
+            continue;
+        }
+        if c.is_alphanumeric() {
+            let mut end = start + c.len_utf8();
+            let mut prev = c;
+            while let Some(&(i, nc)) = iter.peek() {
+                let next = text[i + nc.len_utf8()..].chars().next();
+                if continues(prev, nc, next) {
+                    end = i + nc.len_utf8();
+                    prev = nc;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            let tok = &text[start..end];
+            tokens.push(Token {
+                text: tok,
+                start,
+                end,
+                kind: classify_word(tok),
+            });
+        } else {
+            let end = start + c.len_utf8();
+            tokens.push(Token {
+                text: &text[start..end],
+                start,
+                end,
+                kind: TokenKind::Punct,
+            });
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<&str> {
+        tokenize(s).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn splits_simple_sentence() {
+        assert_eq!(texts("The cat sat."), vec!["The", "cat", "sat", "."]);
+    }
+
+    #[test]
+    fn keeps_decimal_numbers_together() {
+        assert_eq!(texts("up 5.3 percent"), vec!["up", "5.3", "percent"]);
+        let toks = tokenize("up 5.3 percent");
+        assert_eq!(toks[1].kind, TokenKind::DecimalNumber);
+    }
+
+    #[test]
+    fn keeps_thousand_separators_together() {
+        let toks = tokenize("$1,200,000 in cash");
+        assert_eq!(toks[1].text, "1,200,000");
+        assert_eq!(toks[1].kind, TokenKind::DecimalNumber);
+        assert_eq!(toks[0].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn trailing_dot_is_not_part_of_number() {
+        let toks = tokenize("grew 10.");
+        assert_eq!(toks[1].text, "10");
+        assert_eq!(toks[2].text, ".");
+    }
+
+    #[test]
+    fn apostrophes_join_words() {
+        assert_eq!(texts("O'Brien's firm"), vec!["O'Brien's", "firm"]);
+    }
+
+    #[test]
+    fn hyphens_join_words() {
+        assert_eq!(
+            texts("third-quarter results"),
+            vec!["third-quarter", "results"]
+        );
+    }
+
+    #[test]
+    fn dangling_hyphen_is_punct() {
+        assert_eq!(
+            texts("pre- and post-merger"),
+            vec!["pre", "-", "and", "post-merger"]
+        );
+    }
+
+    #[test]
+    fn classifies_shapes() {
+        assert_eq!(tokenize("IBM")[0].kind, TokenKind::AllCaps);
+        assert_eq!(tokenize("Daksh")[0].kind, TokenKind::Capitalized);
+        assert_eq!(tokenize("eShopMonitor")[0].kind, TokenKind::MixedCase);
+        assert_eq!(tokenize("revenue")[0].kind, TokenKind::Lower);
+        assert_eq!(tokenize("1996")[0].kind, TokenKind::Number);
+        assert_eq!(tokenize("4th")[0].kind, TokenKind::Ordinal);
+        assert_eq!(tokenize("Q3")[0].kind, TokenKind::Alphanumeric);
+        assert_eq!(tokenize("B2B")[0].kind, TokenKind::Alphanumeric);
+    }
+
+    #[test]
+    fn ordinal_detection() {
+        assert_eq!(tokenize("22nd")[0].kind, TokenKind::Ordinal);
+        assert_eq!(tokenize("1st")[0].kind, TokenKind::Ordinal);
+        assert_eq!(tokenize("3rd")[0].kind, TokenKind::Ordinal);
+        // Not ordinals:
+        assert_eq!(tokenize("4x")[0].kind, TokenKind::Alphanumeric);
+    }
+
+    #[test]
+    fn spans_map_back_to_source() {
+        let src = "Acme Corp. reported a 10% rise.";
+        for tok in tokenize(src) {
+            assert_eq!(&src[tok.start..tok.end], tok.text);
+        }
+    }
+
+    #[test]
+    fn spans_are_strictly_increasing_and_disjoint() {
+        let src = "Mr. Andersen was the CEO of XYZ Inc. from 1980-1985.";
+        let toks = tokenize(src);
+        for pair in toks.windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn covers_all_non_whitespace() {
+        let src = "A $5 billion, 10% stake!";
+        let toks = tokenize(src);
+        let covered: usize = toks.iter().map(|t| t.text.len()).sum();
+        let expected: usize = src
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(char::len_utf8)
+            .sum();
+        assert_eq!(covered, expected);
+    }
+
+    #[test]
+    fn handles_unicode_words() {
+        let toks = tokenize("Société Générale gained");
+        assert_eq!(toks[0].text, "Société");
+        assert_eq!(toks[0].kind, TokenKind::Capitalized);
+    }
+
+    #[test]
+    fn currency_symbols_are_single_punct_tokens() {
+        let toks = tokenize("€5 and $7");
+        assert_eq!(toks[0].text, "€");
+        assert_eq!(toks[0].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn is_capitalized_helper() {
+        assert!(tokenize("IBM")[0].is_capitalized());
+        assert!(tokenize("Daksh")[0].is_capitalized());
+        assert!(!tokenize("daksh")[0].is_capitalized());
+    }
+}

@@ -1,0 +1,141 @@
+//! String interning for feature vocabularies.
+//!
+//! Classifier training touches millions of (snippet, feature) pairs; the
+//! paper's negative class alone is "over 2 million randomly sampled
+//! snippets". Interning every feature string once and passing `u32` ids
+//! through the pipeline keeps feature vectors compact and hashing cheap.
+
+use std::collections::HashMap;
+
+/// Dense id assigned to an interned string.
+pub type TermId = u32;
+
+/// A bidirectional string ↔ id table.
+///
+/// Ids are assigned densely in first-seen order, so they can index
+/// directly into `Vec`-based count tables.
+///
+/// ```
+/// use etap_text::Vocabulary;
+/// let mut v = Vocabulary::new();
+/// let a = v.intern("acquire");
+/// let b = v.intern("merge");
+/// assert_eq!(v.intern("acquire"), a);
+/// assert_ne!(a, b);
+/// assert_eq!(v.term(a), Some("acquire"));
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    by_id: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty vocabulary with space reserved for `cap` terms.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            by_term: HashMap::with_capacity(cap),
+            by_id: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Intern `term`, returning its id (allocating one if unseen).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId::try_from(self.by_id.len()).expect("vocabulary exceeds u32::MAX terms");
+        self.by_term.insert(term.to_string(), id);
+        self.by_id.push(term.to_string());
+        id
+    }
+
+    /// Look up an already-interned term without inserting.
+    #[must_use]
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term behind an id.
+    #[must_use]
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.by_id.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when no terms have been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), 0);
+        assert_eq!(v.intern("b"), 1);
+        assert_eq!(v.intern("a"), 0);
+        assert_eq!(v.intern("c"), 2);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.get("x"), None);
+        assert_eq!(v.len(), 0);
+        v.intern("x");
+        assert_eq!(v.get("x"), Some(0));
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("acquisition");
+        assert_eq!(v.term(id), Some("acquisition"));
+        assert_eq!(v.term(999), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocabulary::new();
+        for t in ["z", "m", "a"] {
+            v.intern(t);
+        }
+        let terms: Vec<&str> = v.iter().map(|(_, t)| t).collect();
+        assert_eq!(terms, vec!["z", "m", "a"]);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Defining a brand-new sales driver from scratch.
+//!
+//! §3.3.1: "one may want to introduce new categories of sales drivers
+//! quite frequently and hand-labeling to produce training data for new
+//! categories can be very tedious" — so ETAP builds the training set
+//! automatically from smart queries + snippet filters. This example
+//! adds a **product launch** driver (a company shipping a new product
+//! suggests demand for marketing/support services) without touching any
+//! built-in code:
+//!
+//! 1. write smart queries,
+//! 2. write an NE-combination snippet filter,
+//! 3. hand the spec to the standard pipeline.
+//!
+//! ```sh
+//! cargo run --release --example new_driver
+//! ```
+
+use etap_repro::annotate::{Annotator, EntityCategory};
+use etap_repro::corpus::{SearchEngine, SyntheticWeb, WebConfig};
+use etap_repro::system::training::{self, TrainingConfig};
+use etap_repro::system::Filter;
+use etap_repro::{DriverSpec, SalesDriver};
+
+fn main() {
+    let web = SyntheticWeb::generate(WebConfig::with_docs(2_000));
+    let engine = SearchEngine::build(web.docs());
+    let annotator = Annotator::new();
+
+    // A new driver is just a spec. We reuse the RevenueGrowth tag here
+    // because SalesDriver is a closed enum in the corpus ground truth;
+    // a real deployment would carry its own driver registry — the
+    // pipeline only cares about the queries and the filter.
+    let spec = DriverSpec {
+        driver: SalesDriver::RevenueGrowth,
+        smart_queries: vec![
+            "\"record revenue\"".to_string(),
+            "\"revenue surged\"".to_string(),
+            "\"raised its full-year outlook\"".to_string(),
+            "\"swung to a profit\"".to_string(),
+            "\"net income\" jumped".to_string(),
+        ],
+        // Organization AND (Currency OR Percent) — but also insist the
+        // snippet is not purely historical by excluding YEAR-only money
+        // mentions. Filters compose with and/or/negate.
+        snippet_filter: Filter::cat(EntityCategory::Org)
+            .and(Filter::cat(EntityCategory::Currency).or(Filter::cat(EntityCategory::Prcnt))),
+        orientation: None,
+    };
+
+    let config = TrainingConfig {
+        pure_positives: 0, // no hand-labeled data at all for a new driver
+        ..TrainingConfig::default()
+    };
+
+    // Step 1+2: harvest noisy positives and inspect them, the way
+    // Figures 5/6 of the paper inspect the "new ceo" query results.
+    let harvest = training::harvest_noisy_positives(&spec, &engine, &web, &annotator, &config);
+    println!(
+        "Smart queries fetched {} documents; {} of {} snippets passed the filter.",
+        harvest.docs_fetched,
+        harvest.noisy.len(),
+        harvest.snippets_considered
+    );
+    println!("\nSample noisy positives:");
+    for text in harvest.noisy_texts.iter().take(4) {
+        println!("  • {}", &text.chars().take(110).collect::<String>());
+    }
+
+    // Step 3: train with zero pure positives (the paper's cold-start
+    // case) — the de-noising loop works purely from Pⁿ vs N.
+    let trained = training::train_driver(&spec, &engine, &web, &annotator, &config, |_| false);
+    println!(
+        "\nDe-noising kept {}/{} noisy positives in {} iterations.",
+        trained.report.retained_positives,
+        trained.report.noisy_positives,
+        trained.report.iterations
+    );
+
+    // Sanity-check the new classifier.
+    let cases = [
+        (
+            "Zenlith Systems Inc. posted record revenue of $420 million for fiscal 2005.",
+            true,
+        ),
+        (
+            "The committee debated the new transport bill in Geneva.",
+            false,
+        ),
+        (
+            "Simmer the sauce for twenty minutes, stirring occasionally.",
+            false,
+        ),
+    ];
+    println!("\nClassifier spot checks:");
+    for (text, expect) in cases {
+        let score = trained.score(&annotator.annotate(text));
+        let verdict = if score >= 0.5 { "TRIGGER" } else { "ignore " };
+        println!("  [{verdict} {score:.3}] {text}");
+        assert_eq!(score >= 0.5, expect, "{text}");
+    }
+    println!("\nNew driver trained without a single hand-labeled snippet.");
+}

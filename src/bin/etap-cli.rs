@@ -1,0 +1,285 @@
+//! `etap-cli` — drive the full ETAP pipeline from the command line.
+//!
+//! ```text
+//! etap-cli train --out models/ [--docs 4000] [--seed 59305] [--driver all|ma|cim|rev]
+//! etap-cli scan  --models models/ [--docs 300] [--seed 7] [--top 10] [--time-weighted]
+//! etap-cli score --model models/<file>.model --text "IBM acquired Daksh..."
+//! etap-cli companies --models models/ [--docs 300] [--seed 7] [--top 10]
+//! etap-cli eval  --models models/ [--docs 600] [--seed 7]
+//! ```
+//!
+//! `train` persists one `.model` file per sales driver (text format, see
+//! `etap::persist`); `scan`/`companies` generate a fresh synthetic crawl
+//! and run the trained models over it.
+
+use etap_repro::system::{persist, rank, AliasResolver, EventIdentifier, TrainedDriver};
+use etap_repro::{DriverSpec, Etap, EtapConfig, SalesDriver, SyntheticWeb, WebConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = Opts::parse(&args[1..]);
+    let result = match command.as_str() {
+        "train" => cmd_train(&opts),
+        "scan" => cmd_scan(&opts),
+        "score" => cmd_score(&opts),
+        "companies" => cmd_companies(&opts),
+        "eval" => cmd_eval(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+etap-cli — automatic sales lead generation (ETAP, ICDE 2006 reproduction)
+
+USAGE:
+  etap-cli train --out <dir> [--docs N] [--seed N] [--driver all|ma|cim|rev]
+  etap-cli scan --models <dir> [--docs N] [--seed N] [--top K] [--time-weighted]
+  etap-cli score --model <file> --text <snippet>
+  etap-cli companies --models <dir> [--docs N] [--seed N] [--top K]
+  etap-cli eval --models <dir> [--docs N] [--seed N]";
+
+/// Minimal `--flag value` / `--flag` parser.
+struct Opts {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                let value = args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            }
+            i += 1;
+        }
+        Self { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn parse_drivers(spec: &str) -> Result<Vec<SalesDriver>, String> {
+    match spec {
+        "all" => Ok(SalesDriver::ALL.to_vec()),
+        "ma" => Ok(vec![SalesDriver::MergersAcquisitions]),
+        "cim" => Ok(vec![SalesDriver::ChangeInManagement]),
+        "rev" => Ok(vec![SalesDriver::RevenueGrowth]),
+        other => Err(format!("unknown driver {other:?} (use all|ma|cim|rev)")),
+    }
+}
+
+fn cmd_train(opts: &Opts) -> Result<(), String> {
+    let out = PathBuf::from(opts.get("out").ok_or("--out <dir> is required")?);
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let docs = opts.usize_or("docs", 4_000);
+    let seed = opts.usize_or("seed", 0xE7A9) as u64;
+    let drivers = parse_drivers(opts.get("driver").unwrap_or("all"))?;
+
+    eprintln!("generating {docs}-document web (seed {seed})…");
+    let web = SyntheticWeb::generate(WebConfig {
+        total_docs: docs,
+        seed,
+        ..WebConfig::default()
+    });
+    let mut config = EtapConfig::paper();
+    config.drivers = drivers.iter().copied().map(DriverSpec::builtin).collect();
+    config.training.negative_snippets = docs * 3 / 2;
+    eprintln!("training {} driver(s)…", drivers.len());
+    let trained = Etap::new(config).train(&web);
+    for d in &trained.drivers {
+        let path = out.join(format!("{}.model", d.spec.driver.id()));
+        persist::save(d, &path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({} noisy positives → {} retained, {} features)",
+            path.display(),
+            d.report.noisy_positives,
+            d.report.retained_positives,
+            d.vectorizer.vocabulary().len()
+        );
+    }
+    Ok(())
+}
+
+fn load_models(dir: &Path) -> Result<Vec<TrainedDriver>, String> {
+    let mut models = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "model"))
+        .collect();
+    paths.sort();
+    for p in paths {
+        models.push(persist::load(&p).map_err(|e| format!("{}: {e}", p.display()))?);
+    }
+    if models.is_empty() {
+        return Err(format!("no .model files in {}", dir.display()));
+    }
+    Ok(models)
+}
+
+fn fresh_crawl(opts: &Opts) -> SyntheticWeb {
+    let docs = opts.usize_or("docs", 300);
+    let seed = opts.usize_or("seed", 7) as u64;
+    eprintln!("crawling {docs} fresh documents (seed {seed})…");
+    SyntheticWeb::generate(WebConfig {
+        total_docs: docs,
+        seed,
+        ..WebConfig::default()
+    })
+}
+
+fn cmd_scan(opts: &Opts) -> Result<(), String> {
+    let models = load_models(Path::new(
+        opts.get("models").ok_or("--models <dir> required")?,
+    ))?;
+    let crawl = fresh_crawl(opts);
+    let top = opts.usize_or("top", 10);
+    let identifier = EventIdentifier::new(3);
+    let events = identifier.identify(&models, crawl.docs());
+    eprintln!("{} trigger events flagged.", events.len());
+
+    if opts.has("time-weighted") {
+        let ranked = rank::rank_by_time_weighted_score(events, 365.0);
+        for (i, (e, w)) in ranked.iter().take(top).enumerate() {
+            println!(
+                "{:>3}. [{:.3}×time={w:.3}] ({}) {}",
+                i + 1,
+                e.score,
+                e.driver,
+                e.snippet
+            );
+        }
+    } else {
+        let ranked = rank::rank_by_score(events);
+        for (i, e) in ranked.iter().take(top).enumerate() {
+            println!(
+                "{:>3}. [{:.3}] ({}) {}",
+                i + 1,
+                e.score,
+                e.driver,
+                e.snippet
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_score(opts: &Opts) -> Result<(), String> {
+    let model_path = PathBuf::from(opts.get("model").ok_or("--model <file> required")?);
+    let text = opts.get("text").ok_or("--text <snippet> required")?;
+    let trained = persist::load(&model_path).map_err(|e| e.to_string())?;
+    let annotator = etap_repro::annotate::Annotator::new();
+    let score = trained.score(&annotator.annotate(text));
+    println!(
+        "{:.4}\t{}\t{}",
+        score,
+        if score >= 0.5 { "TRIGGER" } else { "ignore" },
+        trained.spec.driver
+    );
+    Ok(())
+}
+
+fn cmd_companies(opts: &Opts) -> Result<(), String> {
+    let models = load_models(Path::new(
+        opts.get("models").ok_or("--models <dir> required")?,
+    ))?;
+    let crawl = fresh_crawl(opts);
+    let top = opts.usize_or("top", 10);
+    let identifier = EventIdentifier::new(3);
+    let events = identifier.identify(&models, crawl.docs());
+    let mut resolver = AliasResolver::new();
+    let companies = rank::rank_companies_resolved(&events, &mut resolver);
+    println!("{:<32} {:>7} {:>7}", "company", "MRR", "events");
+    for c in companies.iter().take(top) {
+        println!("{:<32} {:>7.3} {:>7}", c.company, c.mrr, c.events);
+    }
+    Ok(())
+}
+
+fn cmd_eval(opts: &Opts) -> Result<(), String> {
+    let models = load_models(Path::new(
+        opts.get("models").ok_or("--models <dir> required")?,
+    ))?;
+    let docs = opts.usize_or("docs", 600);
+    let seed = opts.usize_or("seed", 7) as u64;
+    eprintln!("evaluating on a fresh {docs}-document web (seed {seed})…");
+    let crawl = SyntheticWeb::generate(WebConfig {
+        total_docs: docs,
+        seed,
+        ..WebConfig::default()
+    });
+    let identifier = EventIdentifier::new(3);
+    let events = identifier.identify(&models, crawl.docs());
+
+    println!(
+        "{:<26} {:>9} {:>7} {:>7}",
+        "driver", "precision", "recall", "events"
+    );
+    for trained in &models {
+        let driver = trained.spec.driver;
+        let mine: Vec<_> = events.iter().filter(|e| e.driver == driver).collect();
+        let tp = mine
+            .iter()
+            .filter(|e| crawl.doc(e.doc_id).trigger_driver() == Some(driver))
+            .count();
+        let trigger_docs: Vec<usize> = crawl.trigger_docs(driver).map(|d| d.id).collect();
+        let covered = trigger_docs
+            .iter()
+            .filter(|id| mine.iter().any(|e| e.doc_id == **id))
+            .count();
+        let precision = if mine.is_empty() {
+            0.0
+        } else {
+            tp as f64 / mine.len() as f64
+        };
+        let recall = if trigger_docs.is_empty() {
+            0.0
+        } else {
+            covered as f64 / trigger_docs.len() as f64
+        };
+        println!(
+            "{:<26} {precision:>9.3} {recall:>7.3} {:>7}",
+            driver.to_string(),
+            mine.len()
+        );
+    }
+    Ok(())
+}

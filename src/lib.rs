@@ -1,0 +1,32 @@
+//! # etap-repro — facade crate
+//!
+//! Single-dependency entry point for the ETAP reproduction (ICDE 2006,
+//! *Automatic Sales Lead Generation from Web Data*). Re-exports every
+//! workspace crate under one roof:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`system`] | `etap` | the ETAP pipeline: training, event identification, ranking |
+//! | [`text`] | `etap-text` | tokenizer, sentence chunker, snippets, Porter stemmer |
+//! | [`annotate`] | `etap-annotate` | POS tagger + 13-category NER |
+//! | [`features`] | `etap-features` | feature abstraction, RIG, feature selection |
+//! | [`classify`] | `etap-classify` | NB / LR / SVM / EM, de-noising, metrics |
+//! | [`corpus`] | `etap-corpus` | synthetic web, search engine, sales drivers |
+//!
+//! See the repository README for a walkthrough and `examples/` for
+//! runnable scenarios.
+
+#![forbid(unsafe_code)]
+
+pub use etap as system;
+pub use etap_annotate as annotate;
+pub use etap_classify as classify;
+pub use etap_corpus as corpus;
+pub use etap_features as features;
+pub use etap_text as text;
+
+// The most common types at the top level for convenience.
+pub use etap::{
+    DriverSpec, Etap, EtapConfig, OrientationLexicon, SalesDriver, TrainedEtap, TriggerEvent,
+};
+pub use etap_corpus::{SyntheticWeb, WebConfig};

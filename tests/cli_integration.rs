@@ -1,0 +1,126 @@
+//! End-to-end test of the `etap-cli` binary: train → persist → scan →
+//! score → companies, all through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_etap-cli"))
+}
+
+fn temp_model_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("etap_cli_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let models = temp_model_dir("flow");
+
+    // train (small web, one driver, for speed)
+    let out = cli()
+        .args([
+            "train",
+            "--out",
+            models.to_str().unwrap(),
+            "--docs",
+            "900",
+            "--driver",
+            "cim",
+        ])
+        .output()
+        .expect("run train");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let model_file = models.join("change_in_management.model");
+    assert!(model_file.exists(), "model file written");
+
+    // scan
+    let out = cli()
+        .args([
+            "scan",
+            "--models",
+            models.to_str().unwrap(),
+            "--docs",
+            "80",
+            "--top",
+            "3",
+        ])
+        .output()
+        .expect("run scan");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("change in management"), "{stdout}");
+
+    // score a canonical trigger snippet
+    let out = cli()
+        .args([
+            "score",
+            "--model",
+            model_file.to_str().unwrap(),
+            "--text",
+            "Acme Corp named Jane Roe as its new CEO on Monday.",
+        ])
+        .output()
+        .expect("run score");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("TRIGGER"), "{stdout}");
+
+    // score background
+    let out = cli()
+        .args([
+            "score",
+            "--model",
+            model_file.to_str().unwrap(),
+            "--text",
+            "Simmer the sauce for twenty minutes, stirring occasionally.",
+        ])
+        .output()
+        .expect("run score bg");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ignore"), "{stdout}");
+
+    // companies
+    let out = cli()
+        .args([
+            "companies",
+            "--models",
+            models.to_str().unwrap(),
+            "--docs",
+            "80",
+            "--top",
+            "3",
+        ])
+        .output()
+        .expect("run companies");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MRR"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&models);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = cli().arg("train").output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--out"), "{stderr}");
+}
