@@ -64,6 +64,20 @@ impl Annotator {
         AnnotatedSnippet::assemble(text, &tokens, entities, &pos_tags)
     }
 
+    /// Annotate many snippets on up to `threads` worker threads
+    /// (`0` = the `ETAP_THREADS` default). Annotation is the pipeline's
+    /// dominant cost and is embarrassingly parallel: output `i` is
+    /// exactly `self.annotate(texts[i].as_ref())`, order-preserving and
+    /// bit-identical to the sequential path for any thread count.
+    #[must_use]
+    pub fn annotate_batch<S: AsRef<str> + Sync>(
+        &self,
+        texts: &[S],
+        threads: usize,
+    ) -> Vec<AnnotatedSnippet> {
+        etap_runtime::par_map(texts, threads, |t| self.annotate(t.as_ref()))
+    }
+
     /// Access the underlying NER (e.g. to extend gazetteers).
     #[must_use]
     pub fn ner(&self) -> &NamedEntityRecognizer {

@@ -74,6 +74,7 @@ fn main() {
                     stability_threshold: 0.0,
                     ..DenoiseConfig::default()
                 },
+                threads: 0,
             };
             let outcome = denoiser.run(&MultinomialNb::new(), &noisy, &pure_vecs, &neg_vecs);
             let report = etap::TrainingReport {

@@ -1,0 +1,84 @@
+//! **Pipeline throughput** — sequential vs multi-threaded scan rate.
+//!
+//! Trains one driver (setup, untimed), then measures the end-to-end
+//! event-identification path (snippet distillation → NER/POS annotation
+//! → frozen-vocabulary scoring) over the standard synthetic web at one
+//! worker thread and at the full `ETAP_THREADS` fan-out. The two runs
+//! produce bit-identical event lists — the determinism contract of
+//! etap-runtime — so the comparison is pure wall-clock.
+//!
+//! Writes `BENCH_pipeline.json` into the current directory:
+//!
+//! ```json
+//! {"docs": 4000, "threads_nt": 8,
+//!  "docs_per_sec_1t": ..., "docs_per_sec_nt": ..., "speedup": ...}
+//! ```
+//!
+//! ```sh
+//! cargo run --release -p etap-bench --bin bench_throughput
+//! ```
+//!
+//! Knobs: `ETAP_DOCS` (web size, default 4000), `ETAP_THREADS`
+//! (fan-out, default = available parallelism).
+
+use std::time::Instant;
+
+use etap::training::train_driver;
+use etap::{DriverSpec, EventIdentifier, SalesDriver};
+use etap_annotate::Annotator;
+use etap_bench::{is_test_doc, paper_training_config, standard_web};
+use etap_corpus::SearchEngine;
+
+fn main() {
+    let web = standard_web();
+    let engine = SearchEngine::build(web.docs());
+    let annotator = Annotator::new();
+    // Setup (untimed): train one driver so scoring runs the real frozen
+    // vocabulary. A smaller negative class keeps setup quick without
+    // changing the measured scan path.
+    let mut config = paper_training_config(&web);
+    config.negative_snippets = config.negative_snippets.min(2_000);
+    let spec = DriverSpec::builtin(SalesDriver::ChangeInManagement);
+    let trained = train_driver(&spec, &engine, &web, &annotator, &config, is_test_doc);
+    let drivers = [trained];
+    let identifier = EventIdentifier::new(config.snippet_window);
+
+    let docs = web.docs();
+    let nt = etap_runtime::max_threads().max(2);
+
+    // Warm-up (page in lexicons, gazetteers, branch predictors).
+    let _ = identifier.identify_parallel(&drivers, &docs[..docs.len().min(64)], 1);
+
+    let time = |threads: usize| {
+        let t0 = Instant::now();
+        let events = identifier.identify_parallel(&drivers, docs, threads);
+        (t0.elapsed().as_secs_f64(), events)
+    };
+    let (t_1, events_1) = time(1);
+    let (t_n, events_n) = time(nt);
+    assert_eq!(
+        events_1, events_n,
+        "parallel identification must be bit-identical to sequential"
+    );
+
+    let docs_per_sec_1t = docs.len() as f64 / t_1;
+    let docs_per_sec_nt = docs.len() as f64 / t_n;
+    let speedup = t_1 / t_n;
+
+    println!(
+        "pipeline throughput over {} docs ({} events flagged)",
+        docs.len(),
+        events_1.len()
+    );
+    println!("  1 thread : {t_1:>8.3} s   {docs_per_sec_1t:>9.1} docs/s");
+    println!("  {nt} threads: {t_n:>8.3} s   {docs_per_sec_nt:>9.1} docs/s");
+    println!("  speedup  : {speedup:>8.2}x");
+
+    let json = format!(
+        "{{\"docs\": {}, \"threads_nt\": {nt}, \"docs_per_sec_1t\": {docs_per_sec_1t:.2}, \
+         \"docs_per_sec_nt\": {docs_per_sec_nt:.2}, \"speedup\": {speedup:.3}}}\n",
+        docs.len()
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("\nwrote BENCH_pipeline.json: {json}");
+}

@@ -164,7 +164,10 @@ pub fn eval_both_drivers_with<T: etap_classify::Trainer>(
     engine: &etap_corpus::SearchEngine,
     annotator: &Annotator,
     config: &etap::TrainingConfig,
-) -> [PrecisionRecallF1; 2] {
+) -> [PrecisionRecallF1; 2]
+where
+    T::Model: Sync,
+{
     use etap::training::train_driver_with;
     use etap::DriverSpec;
 

@@ -1,8 +1,7 @@
 //! Labeled datasets.
 
 use etap_features::SparseVec;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use etap_runtime::Rng;
 
 /// Two-class label: positive = pertains to the sales driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,9 +120,9 @@ impl Dataset {
     }
 
     /// Shuffle examples in place.
-    pub fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+    pub fn shuffle(&mut self, rng: &mut Rng) {
         let mut order: Vec<usize> = (0..self.len()).collect();
-        order.shuffle(rng);
+        rng.shuffle(&mut order);
         self.vectors = order.iter().map(|&i| self.vectors[i].clone()).collect();
         self.labels = order.iter().map(|&i| self.labels[i]).collect();
     }
@@ -206,8 +205,6 @@ impl FromIterator<(SparseVec, Label)> for Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn vecf(ids: &[u32]) -> SparseVec {
         ids.iter().map(|&i| (i, 1.0)).collect()
@@ -259,7 +256,7 @@ mod tests {
     fn shuffle_preserves_multiset() {
         let mut d = sample(20);
         let pos_before = d.positives();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         d.shuffle(&mut rng);
         assert_eq!(d.len(), 20);
         assert_eq!(d.positives(), pos_before);
@@ -269,8 +266,8 @@ mod tests {
     fn shuffle_is_seeded() {
         let mut a = sample(20);
         let mut b = sample(20);
-        a.shuffle(&mut StdRng::seed_from_u64(42));
-        b.shuffle(&mut StdRng::seed_from_u64(42));
+        a.shuffle(&mut Rng::seed_from_u64(42));
+        b.shuffle(&mut Rng::seed_from_u64(42));
         for i in 0..20 {
             assert_eq!(a.get(i).1, b.get(i).1);
         }

@@ -71,6 +71,10 @@ impl<M> DenoiseOutcome<M> {
 pub struct IterativeDenoiser {
     /// Loop configuration.
     pub config: DenoiseConfig,
+    /// Worker threads for the re-classification step (`0` = the
+    /// `ETAP_THREADS` default, `1` = sequential). The outcome is
+    /// bit-identical for any value — only wall time changes.
+    pub threads: usize,
 }
 
 impl IterativeDenoiser {
@@ -89,7 +93,15 @@ impl IterativeDenoiser {
                 stability_threshold: 0.0,
                 ..DenoiseConfig::default()
             },
+            ..Self::default()
         }
+    }
+
+    /// Set the worker-thread count for re-classification.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Train with noise reduction.
@@ -103,7 +115,10 @@ impl IterativeDenoiser {
         noisy_positive: &[SparseVec],
         pure_positive: &[SparseVec],
         negative: &[SparseVec],
-    ) -> DenoiseOutcome<T::Model> {
+    ) -> DenoiseOutcome<T::Model>
+    where
+        T::Model: Sync,
+    {
         let cfg = &self.config;
         let mut retained: Vec<usize> = (0..noisy_positive.len()).collect();
         let mut noisy_sizes = vec![retained.len()];
@@ -112,11 +127,17 @@ impl IterativeDenoiser {
             self.train_once(trainer, &retained, noisy_positive, pure_positive, negative);
 
         for _ in 0..cfg.max_iterations {
-            // Re-classify the current noisy set; keep predicted positives.
+            // Re-classify the current noisy set in parallel; keep
+            // predicted positives. Prediction is read-only per snippet,
+            // so fan-out + ordered merge keeps `kept` identical to the
+            // sequential filter.
+            let verdicts =
+                etap_runtime::par_map(&retained, self.threads, |&i| model.predict(&noisy_positive[i]));
             let kept: Vec<usize> = retained
                 .iter()
                 .copied()
-                .filter(|&i| model.predict(&noisy_positive[i]))
+                .zip(verdicts)
+                .filter_map(|(i, keep)| keep.then_some(i))
                 .collect();
             let removed = retained.len() - kept.len();
             let change = if retained.is_empty() {
@@ -224,6 +245,7 @@ mod tests {
                 stability_threshold: 0.01,
                 pure_positive_oversample: 3,
             },
+            threads: 4,
         };
         let out = denoiser.run(&MultinomialNb::new(), &noisy, &pure, &neg);
         // Converges in far fewer than 50 iterations.

@@ -62,6 +62,27 @@ pub trait Classifier {
     fn predict(&self, v: &SparseVec) -> bool {
         self.posterior(v) >= 0.5
     }
+
+    /// Posterior of every vector, computed on up to `threads` worker
+    /// threads (`0` = the `ETAP_THREADS` default). Output `i` is exactly
+    /// `self.posterior(&vs[i])` — order-preserving and bit-identical to
+    /// the sequential loop for any thread count (see etap-runtime).
+    fn posterior_batch(&self, vs: &[SparseVec], threads: usize) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        etap_runtime::par_map(vs, threads, |v| self.posterior(v))
+    }
+
+    /// Hard decision for every vector; the batched, parallel counterpart
+    /// of [`Classifier::predict`] with the same determinism contract as
+    /// [`Classifier::posterior_batch`].
+    fn predict_batch(&self, vs: &[SparseVec], threads: usize) -> Vec<bool>
+    where
+        Self: Sync,
+    {
+        etap_runtime::par_map(vs, threads, |v| self.predict(v))
+    }
 }
 
 /// A training algorithm producing a [`Classifier`]; the de-noising loop

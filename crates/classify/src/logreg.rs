@@ -11,9 +11,7 @@
 use crate::data::Dataset;
 use crate::{Classifier, Trainer};
 use etap_features::SparseVec;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use etap_runtime::Rng;
 
 /// Hyper-parameters for [`LogisticRegression`].
 #[derive(Debug, Clone, Copy)]
@@ -114,10 +112,10 @@ impl Trainer for LogisticRegression {
         let mut w = vec![0.0f64; dim];
         let mut b = 0.0f64;
         let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut t = 0usize;
         for _ in 0..cfg.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for &i in &order {
                 let (v, label) = data.get(i);
                 let y = if label.is_positive() { 1.0 } else { 0.0 };

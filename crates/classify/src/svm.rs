@@ -13,9 +13,7 @@
 use crate::data::Dataset;
 use crate::{Classifier, Trainer};
 use etap_features::SparseVec;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use etap_runtime::Rng;
 
 /// Hyper-parameters for [`LinearSvm`].
 #[derive(Debug, Clone, Copy)]
@@ -99,7 +97,7 @@ impl Trainer for LinearSvm {
         let iterations = cfg
             .iterations
             .unwrap_or_else(|| usize::min(40 * n, 200_000));
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         // Pegasos maintains a scale on w; we fold it in eagerly for
         // clarity (dimensions here are modest).
         for t in 1..=iterations {

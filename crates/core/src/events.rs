@@ -8,6 +8,7 @@ use crate::training::TrainedDriver;
 use etap_annotate::{Annotator, EntityCategory};
 use etap_classify::Classifier;
 use etap_corpus::{SalesDriver, SyntheticDoc};
+use etap_features::VectorScratch;
 use etap_text::SnippetGenerator;
 
 /// A scored trigger event: a snippet flagged relevant to a sales driver.
@@ -36,6 +37,10 @@ pub struct EventIdentifier {
     snipgen: SnippetGenerator,
     /// Minimum posterior for a snippet to be flagged. Default 0.5.
     pub threshold: f64,
+    /// Worker threads for document scanning (`0` = the `ETAP_THREADS`
+    /// default, `1` = sequential). The flagged events are bit-identical
+    /// for any value.
+    pub threads: usize,
 }
 
 impl EventIdentifier {
@@ -46,6 +51,7 @@ impl EventIdentifier {
             annotator: Annotator::new(),
             snipgen: SnippetGenerator::new(window),
             threshold: 0.5,
+            threads: 0,
         }
     }
 
@@ -56,6 +62,13 @@ impl EventIdentifier {
         self
     }
 
+    /// Override the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The annotator in use.
     #[must_use]
     pub fn annotator(&self) -> &Annotator {
@@ -63,20 +76,21 @@ impl EventIdentifier {
     }
 
     /// Scan `docs` with every trained driver; return all flagged events
-    /// (unordered — ranking is the next component's job).
+    /// (unordered — ranking is the next component's job). Runs on up to
+    /// `self.threads` worker threads; the result is bit-identical to a
+    /// sequential document loop for any thread count (documents are
+    /// independent; the merge preserves document order).
     #[must_use]
-    pub fn identify<M: Classifier>(
+    pub fn identify<M: Classifier + Sync>(
         &self,
         drivers: &[TrainedDriver<M>],
         docs: &[SyntheticDoc],
     ) -> Vec<TriggerEvent> {
-        self.identify_docs(drivers, docs)
+        self.identify_parallel(drivers, docs, self.threads)
     }
 
-    /// Like [`EventIdentifier::identify`] but fanned out over `threads`
-    /// worker threads (document-level parallelism; annotation dominates
-    /// the cost and is embarrassingly parallel). Produces the same
-    /// events as the sequential path, in the same document order.
+    /// [`EventIdentifier::identify`] with an explicit thread count
+    /// (`0` = the `ETAP_THREADS` default, overriding `self.threads`).
     #[must_use]
     pub fn identify_parallel<M: Classifier + Sync>(
         &self,
@@ -84,55 +98,42 @@ impl EventIdentifier {
         docs: &[SyntheticDoc],
         threads: usize,
     ) -> Vec<TriggerEvent> {
-        let threads = threads.max(1).min(docs.len().max(1));
-        if threads <= 1 {
-            return self.identify_docs(drivers, docs);
-        }
-        let chunk = docs.len().div_ceil(threads);
-        let mut results: Vec<Vec<TriggerEvent>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = docs
-                .chunks(chunk)
-                .map(|slice| scope.spawn(move || self.identify_docs(drivers, slice)))
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("identification worker panicked"));
-            }
+        let per_doc = etap_runtime::par_map_with(docs, threads, VectorScratch::new, |sc, doc| {
+            self.identify_doc(drivers, doc, sc)
         });
-        results.into_iter().flatten().collect()
+        per_doc.into_iter().flatten().collect()
     }
 
-    fn identify_docs<M: Classifier>(
+    fn identify_doc<M: Classifier>(
         &self,
         drivers: &[TrainedDriver<M>],
-        docs: &[SyntheticDoc],
+        doc: &SyntheticDoc,
+        scratch: &mut VectorScratch,
     ) -> Vec<TriggerEvent> {
         let mut events = Vec::new();
-        for doc in docs {
-            let text = doc.text();
-            for snip in self.snipgen.snippets(&text) {
-                let ann = self.annotator.annotate(&snip.text);
-                // Annotate once per snippet, score once per driver.
-                let companies: Vec<String> = ann
-                    .entities
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.category == EntityCategory::Org)
-                    .map(|(ei, _)| ann.entity_text(ei))
-                    .collect();
-                for trained in drivers {
-                    let score = trained.score(&ann);
-                    if score >= self.threshold {
-                        events.push(TriggerEvent {
-                            driver: trained.spec.driver,
-                            doc_id: doc.id,
-                            url: doc.url.clone(),
-                            snippet: snip.text.clone(),
-                            score,
-                            companies: companies.clone(),
-                            doc_date: doc.date,
-                        });
-                    }
+        let text = doc.text();
+        for snip in self.snipgen.snippets(&text) {
+            let ann = self.annotator.annotate(&snip.text);
+            // Annotate once per snippet, score once per driver.
+            let companies: Vec<String> = ann
+                .entities
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.category == EntityCategory::Org)
+                .map(|(ei, _)| ann.entity_text(ei))
+                .collect();
+            for trained in drivers {
+                let score = trained.score_with(&ann, scratch);
+                if score >= self.threshold {
+                    events.push(TriggerEvent {
+                        driver: trained.spec.driver,
+                        doc_id: doc.id,
+                        url: doc.url.clone(),
+                        snippet: snip.text.clone(),
+                        score,
+                        companies: companies.clone(),
+                        doc_date: doc.date,
+                    });
                 }
             }
         }

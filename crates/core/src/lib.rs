@@ -143,7 +143,7 @@ impl Etap {
     pub fn train_excluding(
         &self,
         web: &SyntheticWeb,
-        exclude_doc: impl Fn(usize) -> bool + Copy,
+        exclude_doc: impl Fn(usize) -> bool + Copy + Sync,
     ) -> TrainedEtap {
         let engine = SearchEngine::build(web.docs());
         let drivers = self

@@ -26,11 +26,9 @@ use etap_annotate::{AnnotatedSnippet, Annotator};
 use etap_classify::denoise::{DenoiseConfig, IterativeDenoiser};
 use etap_classify::{Classifier, MultinomialNb, Trainer};
 use etap_corpus::{SearchEngine, SyntheticWeb};
-use etap_features::{AbstractionPolicy, SparseVec, Vectorizer};
+use etap_features::{AbstractionPolicy, SparseVec, Vectorizer, VectorScratch};
 use etap_text::SnippetGenerator;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use etap_runtime::Rng;
 
 /// Knobs of the training pipeline; defaults mirror the paper.
 #[derive(Debug, Clone)]
@@ -53,6 +51,12 @@ pub struct TrainingConfig {
     pub bigrams: bool,
     /// Seed for negative sampling and pure-positive selection.
     pub seed: u64,
+    /// Worker threads for harvest, sampling, vectorization and
+    /// de-noising (`0` = the `ETAP_THREADS` default, `1` = sequential).
+    /// Every trained artifact is bit-identical for any value — parallel
+    /// stages use fixed-size chunks with per-chunk RNG streams and
+    /// order-preserving merges (see etap-runtime).
+    pub threads: usize,
 }
 
 impl Default for TrainingConfig {
@@ -66,6 +70,7 @@ impl Default for TrainingConfig {
             policy: AbstractionPolicy::paper_default(),
             bigrams: false,
             seed: 0x7EA9,
+            threads: 0,
         }
     }
 }
@@ -103,11 +108,32 @@ impl<M: Classifier> TrainedDriver<M> {
     /// event for this driver.
     #[must_use]
     pub fn score(&self, snip: &AnnotatedSnippet) -> f64 {
-        // The vocabulary is frozen, so vectorization has no side effect;
-        // clone the (cheap) vectorizer handle to keep `&self`.
-        let mut vz = self.vectorizer.clone();
-        let v = vz.vectorize(snip);
+        self.score_with(snip, &mut VectorScratch::new())
+    }
+
+    /// [`TrainedDriver::score`] with a caller-kept scratch buffer. The
+    /// vocabulary is frozen, so scoring is a pure id lookup — no clone
+    /// of the vectorizer (the old implementation cloned the entire
+    /// vocabulary per snippet) and no allocation beyond the reused
+    /// scratch.
+    #[must_use]
+    pub fn score_with(&self, snip: &AnnotatedSnippet, scratch: &mut VectorScratch) -> f64 {
+        let v = self.vectorizer.vectorize_frozen(snip, scratch);
         self.model.posterior(&v)
+    }
+
+    /// Score every snippet on up to `threads` worker threads (`0` = the
+    /// `ETAP_THREADS` default). Output `i` is exactly
+    /// `self.score(&snips[i])` — order-preserving and bit-identical to
+    /// the sequential loop for any thread count.
+    #[must_use]
+    pub fn score_batch(&self, snips: &[AnnotatedSnippet], threads: usize) -> Vec<f64>
+    where
+        M: Sync,
+    {
+        etap_runtime::par_map_with(snips, threads, VectorScratch::new, |scratch, s| {
+            self.score_with(s, scratch)
+        })
     }
 }
 
@@ -143,18 +169,31 @@ pub fn harvest_noisy_positives(
     doc_ids.sort_unstable();
     doc_ids.dedup();
 
-    let mut noisy = Vec::new();
-    let mut noisy_texts = Vec::new();
-    let mut considered = 0usize;
-    for &id in &doc_ids {
+    // Distill + annotate + filter each document independently in
+    // parallel; the ordered merge makes the harvest identical to the
+    // sequential document loop for any thread count.
+    let per_doc = etap_runtime::par_map(&doc_ids, config.threads, |&id| {
         let text = web.doc(id).text();
+        let mut considered = 0usize;
+        let mut kept: Vec<(AnnotatedSnippet, String)> = Vec::new();
         for snip in snipgen.snippets(&text) {
             considered += 1;
             let ann = annotator.annotate(&snip.text);
             if spec.snippet_filter.matches(&ann) {
-                noisy.push(ann);
-                noisy_texts.push(snip.text);
+                kept.push((ann, snip.text));
             }
+        }
+        (considered, kept)
+    });
+
+    let mut noisy = Vec::new();
+    let mut noisy_texts = Vec::new();
+    let mut considered = 0usize;
+    for (doc_considered, kept) in per_doc {
+        considered += doc_considered;
+        for (ann, text) in kept {
+            noisy.push(ann);
+            noisy_texts.push(text);
         }
     }
     Harvest {
@@ -178,23 +217,29 @@ pub fn collect_pure_positives(
     exclude_doc: impl Fn(usize) -> bool,
 ) -> Vec<AnnotatedSnippet> {
     let snipgen = SnippetGenerator::new(config.snippet_window);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA11CE);
-    let mut pool: Vec<AnnotatedSnippet> = Vec::new();
-    for doc in web.trigger_docs(spec.driver) {
-        if exclude_doc(doc.id) {
-            continue;
-        }
+    let mut rng = Rng::seed_from_u64(config.seed ^ 0xA11CE);
+    let docs: Vec<_> = web
+        .trigger_docs(spec.driver)
+        .filter(|doc| !exclude_doc(doc.id))
+        .collect();
+    // Annotate each candidate document's trigger snippets in parallel;
+    // the ordered merge keeps the pool in document order, so the
+    // RNG subsample below sees the exact sequential pool.
+    let per_doc = etap_runtime::par_map(&docs, config.threads, |doc| {
         let text = doc.text();
+        let mut kept: Vec<AnnotatedSnippet> = Vec::new();
         for snip in snipgen.snippets(&text) {
             if doc
                 .trigger_sentences
                 .iter()
                 .any(|t| snip.text.contains(t.as_str()))
             {
-                pool.push(annotator.annotate(&snip.text));
+                kept.push(annotator.annotate(&snip.text));
             }
         }
-    }
+        kept
+    });
+    let mut pool: Vec<AnnotatedSnippet> = per_doc.into_iter().flatten().collect();
     // Uniformly subsample to the requested size.
     while pool.len() > config.pure_positives {
         let i = rng.gen_range(0..pool.len());
@@ -203,33 +248,57 @@ pub fn collect_pure_positives(
     pool
 }
 
+/// Negatives drawn per independent RNG stream in [`sample_negatives`].
+/// Fixed (never derived from the thread count) so the sampled set is
+/// identical for any `threads` value.
+const NEGATIVE_CHUNK: usize = 256;
+
 /// Sample the random negative class from the whole web.
+///
+/// Sampling is chunked: chunk `i` draws up to [`NEGATIVE_CHUNK`]
+/// snippets from its own RNG stream (`Rng::stream(seed ^ mask, i)`),
+/// chunks run on up to `config.threads` workers, and the ordered merge
+/// concatenates them. The resulting set is bit-identical for any thread
+/// count, including the sequential `threads = 1` path.
 #[must_use]
 pub fn sample_negatives(
     web: &SyntheticWeb,
     annotator: &Annotator,
     config: &TrainingConfig,
-    exclude_doc: impl Fn(usize) -> bool,
+    exclude_doc: impl Fn(usize) -> bool + Sync,
 ) -> Vec<AnnotatedSnippet> {
-    let snipgen = SnippetGenerator::new(config.snippet_window);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E6A71);
-    let mut out = Vec::with_capacity(config.negative_snippets);
-    let mut guard = 0usize;
-    while out.len() < config.negative_snippets && guard < config.negative_snippets * 20 {
-        guard += 1;
-        let id = rng.gen_range(0..web.len());
-        if exclude_doc(id) {
-            continue;
-        }
-        let text = web.doc(id).text();
-        let snippets = snipgen.snippets(&text);
-        if snippets.is_empty() {
-            continue;
-        }
-        let pick = rng.gen_range(0..snippets.len());
-        out.push(annotator.annotate(&snippets[pick].text));
+    let target = config.negative_snippets;
+    if target == 0 || web.len() == 0 {
+        return Vec::new();
     }
-    out
+    let snipgen = SnippetGenerator::new(config.snippet_window);
+    let seed = config.seed ^ 0x9E6A71;
+    let n_chunks = target.div_ceil(NEGATIVE_CHUNK);
+    let chunks = etap_runtime::par_chunk_map(n_chunks, config.threads, |ci| {
+        let mut rng = Rng::stream(seed, ci as u64);
+        let want = NEGATIVE_CHUNK.min(target - ci * NEGATIVE_CHUNK);
+        let mut out = Vec::with_capacity(want);
+        // Rejection sampling with a per-chunk attempt guard so a web of
+        // mostly-excluded documents terminates (matching the old global
+        // `target * 20` guard proportionally).
+        let mut guard = 0usize;
+        while out.len() < want && guard < want * 20 {
+            guard += 1;
+            let id = rng.gen_range(0..web.len());
+            if exclude_doc(id) {
+                continue;
+            }
+            let text = web.doc(id).text();
+            let snippets = snipgen.snippets(&text);
+            if snippets.is_empty() {
+                continue;
+            }
+            let pick = rng.gen_range(0..snippets.len());
+            out.push(annotator.annotate(&snippets[pick].text));
+        }
+        out
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 /// Train one driver end to end with an arbitrary classifier family.
@@ -240,24 +309,27 @@ pub fn train_driver_with<T: Trainer>(
     web: &SyntheticWeb,
     annotator: &Annotator,
     config: &TrainingConfig,
-    exclude_doc: impl Fn(usize) -> bool + Copy,
-) -> TrainedDriver<T::Model> {
+    exclude_doc: impl Fn(usize) -> bool + Copy + Sync,
+) -> TrainedDriver<T::Model>
+where
+    T::Model: Sync,
+{
     let harvest = harvest_noisy_positives(spec, engine, web, annotator, config);
     let pure = collect_pure_positives(spec, web, annotator, config, exclude_doc);
     let negatives = sample_negatives(web, annotator, config, exclude_doc);
 
+    // Batch vectorization: feature extraction fans out, interning stays
+    // sequential in snippet order, so the vocabulary's dense id
+    // assignment is identical to the one-by-one loop.
     let mut vectorizer = Vectorizer::new(config.policy.clone()).with_bigrams(config.bigrams);
-    let noisy_vecs: Vec<SparseVec> = harvest
-        .noisy
-        .iter()
-        .map(|s| vectorizer.vectorize(s))
-        .collect();
-    let pure_vecs: Vec<SparseVec> = pure.iter().map(|s| vectorizer.vectorize(s)).collect();
-    let neg_vecs: Vec<SparseVec> = negatives.iter().map(|s| vectorizer.vectorize(s)).collect();
+    let noisy_vecs: Vec<SparseVec> = vectorizer.vectorize_batch(&harvest.noisy, config.threads);
+    let pure_vecs: Vec<SparseVec> = vectorizer.vectorize_batch(&pure, config.threads);
+    let neg_vecs: Vec<SparseVec> = vectorizer.vectorize_batch(&negatives, config.threads);
     vectorizer.freeze();
 
     let denoiser = IterativeDenoiser {
         config: config.denoise,
+        threads: config.threads,
     };
     let outcome = denoiser.run(trainer, &noisy_vecs, &pure_vecs, &neg_vecs);
     let report = TrainingReport {
@@ -283,7 +355,7 @@ pub fn train_driver(
     web: &SyntheticWeb,
     annotator: &Annotator,
     config: &TrainingConfig,
-    exclude_doc: impl Fn(usize) -> bool + Copy,
+    exclude_doc: impl Fn(usize) -> bool + Copy + Sync,
 ) -> TrainedDriver {
     train_driver_with(
         &MultinomialNb::new(),
@@ -317,7 +389,7 @@ pub fn build_test_set(
 ) -> (Vec<Vec<String>>, Vec<String>) {
     assert_eq!(drivers.len(), per_driver.len());
     let snipgen = SnippetGenerator::new(window);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     let mut positives: Vec<Vec<String>> = Vec::with_capacity(drivers.len());
     for (&driver, &want) in drivers.iter().zip(per_driver) {

@@ -16,9 +16,7 @@
 
 use crate::generator::SyntheticDoc;
 use crate::web::SyntheticWeb;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use etap_runtime::Rng;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// Hyperlinks over a synthetic web (adjacency list, doc id → doc ids).
@@ -63,7 +61,7 @@ impl LinkGraph {
                 links[w[1]].insert(w[0]);
             }
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         if web.len() > 1 {
             for (id, set) in links.iter_mut().enumerate() {
                 for _ in 0..random_per_doc {

@@ -14,9 +14,7 @@
 //! of the named entity recognizer".
 
 use etap_annotate::gazetteer;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use etap_runtime::Rng;
 
 /// Syllable-ish stems for novel company names.
 const COMPANY_STEMS: &[&str] = &[
@@ -112,7 +110,7 @@ const NOVEL_SURNAMES: &[&str] = &[
 /// Deterministic generator of entity surface forms.
 #[derive(Debug, Clone)]
 pub struct NameGenerator {
-    rng: StdRng,
+    rng: Rng,
     /// Probability that a generated company/person uses gazetteer names
     /// the NER recognizes. Default 0.65.
     pub known_fraction: f64,
@@ -123,7 +121,7 @@ impl NameGenerator {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             known_fraction: 0.35,
         }
     }
@@ -224,14 +222,14 @@ impl NameGenerator {
     /// current years; old years belong to [`Self::past_year_pair`]'s
     /// retrospectives).
     pub fn year(&mut self) -> String {
-        self.rng.gen_range(2004..=2006).to_string()
+        self.rng.gen_range(2004..=2006i32).to_string()
     }
 
     /// A past year strictly earlier than [`NameGenerator::year`]'s range
     /// (for biography distractors: "was the CEO … from 1980 to 1985").
     pub fn past_year_pair(&mut self) -> (String, String) {
-        let a = self.rng.gen_range(1965..1990);
-        let b = a + self.rng.gen_range(2..9);
+        let a = self.rng.gen_range(1965..1990i32);
+        let b = a + self.rng.gen_range(2..9i32);
         (a.to_string(), b.to_string())
     }
 

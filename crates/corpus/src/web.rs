@@ -9,9 +9,7 @@
 use crate::drivers::SalesDriver;
 use crate::generator::{DocGenerator, Genre, SyntheticDoc};
 use crate::templates::BACKGROUND_GENRES;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use etap_runtime::Rng;
 
 /// Genre mix and size of a synthetic web.
 #[derive(Debug, Clone, Copy)]
@@ -87,7 +85,7 @@ impl SyntheticWeb {
     #[must_use]
     pub fn generate(config: WebConfig) -> Self {
         config.validate();
-        let mut genre_rng = StdRng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15);
+        let mut genre_rng = Rng::seed_from_u64(config.seed ^ 0x9E3779B97F4A7C15);
         let mut gen = DocGenerator::with_known_fraction(config.seed, config.known_name_fraction);
         let mut docs: Vec<SyntheticDoc> = Vec::with_capacity(config.total_docs);
         for id in 0..config.total_docs {
@@ -156,15 +154,15 @@ impl SyntheticWeb {
     /// A random sample of `n` documents (for the negative class), by id.
     #[must_use]
     pub fn sample_ids(&self, n: usize, seed: u64) -> Vec<usize> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n.min(self.len()))
             .map(|_| rng.gen_range(0..self.len()))
             .collect()
     }
 }
 
-fn draw_genre(config: &WebConfig, rng: &mut StdRng) -> Genre {
-    let x: f64 = rng.gen();
+fn draw_genre(config: &WebConfig, rng: &mut Rng) -> Genre {
+    let x: f64 = rng.gen_f64();
     let mut acc = 0.0;
     for driver in SalesDriver::ALL {
         acc += config.trigger_fraction;

@@ -30,9 +30,18 @@ impl SparseVec {
     /// Build from unsorted (id, count) pairs; duplicate ids are summed.
     #[must_use]
     pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> Self {
+        Self::from_pairs_buf(&mut pairs)
+    }
+
+    /// Like [`SparseVec::from_pairs`], but reads from a scratch buffer
+    /// the caller keeps (and reuses across snippets): the hot batch
+    /// paths vectorize millions of snippets and must not allocate a
+    /// fresh working buffer per snippet.
+    #[must_use]
+    pub fn from_pairs_buf(pairs: &mut Vec<(u32, f32)>) -> Self {
         pairs.sort_unstable_by_key(|&(id, _)| id);
         let mut out: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
-        for (id, c) in pairs {
+        for &(id, c) in pairs.iter() {
             match out.last_mut() {
                 Some((last_id, last_c)) if *last_id == id => *last_c += c,
                 _ => out.push((id, c)),
@@ -184,86 +193,240 @@ impl Vectorizer {
     /// Vectorize one annotated snippet.
     #[must_use]
     pub fn vectorize(&mut self, snip: &AnnotatedSnippet) -> SparseVec {
-        let mut pairs: Vec<(u32, f32)> = Vec::with_capacity(snip.tokens.len() / 2);
-        let mut feature = String::new();
-        let mut seen_tags: Vec<u32> = Vec::new();
-
-        // Entity-level features. Under **Abstract** the representation
-        // is presence/absence (the paper's PA), so the tag feature is
-        // emitted at most once per snippet no matter how many entities
-        // of the category occur — otherwise entity-dense background
-        // text (market roundups naming five companies) gets its NE:ORG
-        // evidence multiplied and swamps the event vocabulary.
-        for (ei, ent) in snip.entities.iter().enumerate() {
-            feature.clear();
-            match self.policy.entity_choice(ent.category) {
-                CategoryChoice::Abstract => {
-                    feature.push_str("NE:");
-                    feature.push_str(ent.category.tag());
-                    if let Some(id) = self.intern(&feature) {
-                        if !seen_tags.contains(&id) {
-                            seen_tags.push(id);
-                            pairs.push((id, 1.0));
-                        }
-                    }
-                }
-                CategoryChoice::Instance => {
-                    feature.push_str("ne=");
-                    feature.push_str(&snip.entity_text(ei).to_lowercase());
-                    if let Some(id) = self.intern(&feature) {
-                        pairs.push((id, 1.0));
-                    }
-                }
-                CategoryChoice::Drop => continue,
-            }
-        }
-
-        // Token-level features for tokens outside entities.
-        let mut last_instance: Option<(usize, String)> = None;
-        for (ti, tok) in snip.tokens.iter().enumerate() {
-            if tok.entity.is_some() || tok.pos == PosTag::Punct {
-                continue;
-            }
-            feature.clear();
-            match self.policy.pos_choice(tok.pos) {
-                CategoryChoice::Abstract => {
-                    feature.push_str("pos:");
-                    feature.push_str(tok.pos.tag());
-                }
-                CategoryChoice::Instance => {
-                    let lower = tok.text.to_lowercase();
-                    if is_stopword(&lower) {
-                        continue;
-                    }
-                    feature.push_str(&stem(&lower));
-                    if self.bigrams {
-                        if let Some((prev_ti, prev)) = &last_instance {
-                            if prev_ti + 1 == ti {
-                                let bigram = format!("{prev}_{feature}");
-                                if let Some(id) = self.intern(&bigram) {
-                                    pairs.push((id, 1.0));
-                                }
-                            }
-                        }
-                        last_instance = Some((ti, feature.clone()));
-                    }
-                }
-                CategoryChoice::Drop => continue,
-            }
-            if let Some(id) = self.intern(&feature) {
-                pairs.push((id, 1.0));
-            }
-        }
-
-        SparseVec::from_pairs(pairs)
+        let mut scratch = VectorScratch::default();
+        self.vectorize_with(snip, &mut scratch)
     }
 
-    fn intern(&mut self, feature: &str) -> Option<u32> {
+    /// [`Vectorizer::vectorize`] with a caller-kept scratch buffer —
+    /// the per-thread working set of the batch paths. Reusing the
+    /// scratch across snippets removes all per-snippet buffer
+    /// allocations; results are identical to [`Vectorizer::vectorize`].
+    #[must_use]
+    pub fn vectorize_with(&mut self, snip: &AnnotatedSnippet, scratch: &mut VectorScratch) -> SparseVec {
+        scratch.reset();
+        let Self {
+            policy,
+            vocab,
+            frozen,
+            bigrams,
+        } = self;
+        let frozen = *frozen;
+        let VectorScratch {
+            feature,
+            prev,
+            pairs,
+            seen_tags,
+        } = scratch;
+        walk_features(policy, *bigrams, snip, feature, prev, |feat, once| {
+            let id = if frozen {
+                vocab.get(feat)
+            } else {
+                Some(vocab.intern(feat))
+            };
+            if let Some(id) = id {
+                if once {
+                    if seen_tags.contains(&id) {
+                        return;
+                    }
+                    seen_tags.push(id);
+                }
+                pairs.push((id, 1.0));
+            }
+        });
+        SparseVec::from_pairs_buf(pairs)
+    }
+
+    /// Vectorize against a **frozen** feature space without mutating —
+    /// or cloning — the vectorizer. This is the inference hot path:
+    /// scoring previously cloned the entire vocabulary per snippet to
+    /// keep `&self`; this does pure id lookups into the shared table.
+    ///
+    /// # Panics
+    /// Panics if the vocabulary is not frozen (an unfrozen vectorize
+    /// must intern, which needs `&mut self`).
+    #[must_use]
+    pub fn vectorize_frozen(&self, snip: &AnnotatedSnippet, scratch: &mut VectorScratch) -> SparseVec {
+        assert!(
+            self.frozen,
+            "vectorize_frozen requires a frozen vocabulary (call freeze() after training)"
+        );
+        scratch.reset();
+        let VectorScratch {
+            feature,
+            prev,
+            pairs,
+            seen_tags,
+        } = scratch;
+        walk_features(&self.policy, self.bigrams, snip, feature, prev, |feat, once| {
+            if let Some(id) = self.vocab.get(feat) {
+                if once {
+                    if seen_tags.contains(&id) {
+                        return;
+                    }
+                    seen_tags.push(id);
+                }
+                pairs.push((id, 1.0));
+            }
+        });
+        SparseVec::from_pairs_buf(pairs)
+    }
+
+    /// Vectorize a batch of snippets on up to `threads` worker threads
+    /// (`0` = the `ETAP_THREADS` default), bit-identical to vectorizing
+    /// them sequentially in order — for **any** thread count.
+    ///
+    /// * Frozen: pure lookups fan out fully, one scratch per worker.
+    /// * Unfrozen (training): the walk fans out to produce each
+    ///   snippet's feature-string sequence, then ids are interned
+    ///   **sequentially in snippet order**, so the vocabulary gets the
+    ///   exact same dense first-seen id assignment as the sequential
+    ///   path.
+    #[must_use]
+    pub fn vectorize_batch(&mut self, snips: &[AnnotatedSnippet], threads: usize) -> Vec<SparseVec> {
         if self.frozen {
-            self.vocab.get(feature)
-        } else {
-            Some(self.vocab.intern(feature))
+            return etap_runtime::par_map_with(snips, threads, VectorScratch::default, |sc, s| {
+                self.vectorize_frozen(s, sc)
+            });
         }
+        let Self {
+            policy,
+            vocab,
+            bigrams,
+            ..
+        } = self;
+        let bigrams = *bigrams;
+        // Phase 1 (parallel, read-only): feature strings per snippet.
+        let extracted: Vec<Vec<String>> = etap_runtime::par_map_with(
+            snips,
+            threads,
+            || (String::new(), String::new()),
+            |(feature, prev), snip| {
+                let mut feats: Vec<String> = Vec::new();
+                // Once-per-snippet tags deduplicate by string here; the
+                // sequential path dedups by id, which is equivalent
+                // because interning is injective.
+                let mut seen: Vec<String> = Vec::new();
+                walk_features(policy, bigrams, snip, feature, prev, |feat, once| {
+                    if once {
+                        if seen.iter().any(|s| s == feat) {
+                            return;
+                        }
+                        seen.push(feat.to_string());
+                    }
+                    feats.push(feat.to_string());
+                });
+                feats
+            },
+        );
+        // Phase 2 (sequential): intern in snippet order.
+        let mut pairs: Vec<(u32, f32)> = Vec::new();
+        extracted
+            .iter()
+            .map(|feats| {
+                pairs.clear();
+                pairs.extend(feats.iter().map(|f| (vocab.intern(f), 1.0)));
+                SparseVec::from_pairs_buf(&mut pairs)
+            })
+            .collect()
+    }
+}
+
+/// Reusable per-thread working buffers for vectorization. Purely an
+/// allocation cache: contents never influence results.
+#[derive(Debug, Default, Clone)]
+pub struct VectorScratch {
+    feature: String,
+    prev: String,
+    pairs: Vec<(u32, f32)>,
+    seen_tags: Vec<u32>,
+}
+
+impl VectorScratch {
+    /// Fresh (empty) scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self) {
+        self.feature.clear();
+        self.prev.clear();
+        self.pairs.clear();
+        self.seen_tags.clear();
+    }
+}
+
+/// Walk one snippet's features in the canonical emit order, calling
+/// `emit(feature, once_per_snippet)` for each. This single walker backs
+/// every vectorization mode (interning, frozen lookup, string
+/// extraction), so they cannot drift apart.
+///
+/// Emit order — load-bearing for dense id assignment during training:
+/// entity features first (in entity order), then token features (in
+/// token order), with each bigram emitted immediately **before** its
+/// second unigram, exactly as the original implementation did.
+fn walk_features(
+    policy: &AbstractionPolicy,
+    bigrams: bool,
+    snip: &AnnotatedSnippet,
+    feature: &mut String,
+    prev: &mut String,
+    mut emit: impl FnMut(&str, bool),
+) {
+    // Entity-level features. Under **Abstract** the representation is
+    // presence/absence (the paper's PA), so the tag feature is emitted
+    // at most once per snippet no matter how many entities of the
+    // category occur — otherwise entity-dense background text (market
+    // roundups naming five companies) gets its NE:ORG evidence
+    // multiplied and swamps the event vocabulary.
+    for (ei, ent) in snip.entities.iter().enumerate() {
+        feature.clear();
+        match policy.entity_choice(ent.category) {
+            CategoryChoice::Abstract => {
+                feature.push_str("NE:");
+                feature.push_str(ent.category.tag());
+                emit(feature, true);
+            }
+            CategoryChoice::Instance => {
+                feature.push_str("ne=");
+                feature.push_str(&snip.entity_text(ei).to_lowercase());
+                emit(feature, false);
+            }
+            CategoryChoice::Drop => continue,
+        }
+    }
+
+    // Token-level features for tokens outside entities.
+    let mut last_instance: Option<usize> = None;
+    for (ti, tok) in snip.tokens.iter().enumerate() {
+        if tok.entity.is_some() || tok.pos == PosTag::Punct {
+            continue;
+        }
+        feature.clear();
+        match policy.pos_choice(tok.pos) {
+            CategoryChoice::Abstract => {
+                feature.push_str("pos:");
+                feature.push_str(tok.pos.tag());
+            }
+            CategoryChoice::Instance => {
+                let lower = tok.text.to_lowercase();
+                if is_stopword(&lower) {
+                    continue;
+                }
+                feature.push_str(&stem(&lower));
+                if bigrams {
+                    if last_instance == Some(ti.wrapping_sub(1)) {
+                        let bigram = format!("{prev}_{feature}");
+                        emit(&bigram, false);
+                    }
+                    last_instance = Some(ti);
+                    prev.clear();
+                    prev.push_str(feature);
+                }
+            }
+            CategoryChoice::Drop => continue,
+        }
+        emit(feature, false);
     }
 }
 
@@ -388,5 +551,73 @@ mod tests {
         // "profit" and "rose" are separated by a stopword + entity — no
         // "profit_rose" bigram.
         assert!(vz.vocabulary().get("profit_rose").is_none());
+    }
+
+    const BATCH_TEXTS: [&str; 6] = [
+        "IBM acquired Daksh for $160 million in April 2004.",
+        "Oracle announced record profits and several acquisitions.",
+        "The new CEO of Siebel outlined revenue growth plans.",
+        "",
+        "Markets rose sharply. Analysts cheered. Profits doubled.",
+        "Cisco names new chief executive officer amid reorganization.",
+    ];
+
+    fn annotate_batch_texts() -> Vec<AnnotatedSnippet> {
+        let ann = Annotator::new();
+        BATCH_TEXTS.iter().map(|t| ann.annotate(t)).collect()
+    }
+
+    #[test]
+    fn frozen_path_matches_mutable_path() {
+        let mut vz = Vectorizer::paper_default().with_bigrams(true);
+        let snips = annotate_batch_texts();
+        for s in &snips {
+            let _ = vz.vectorize(s);
+        }
+        vz.freeze();
+        let mut scratch = VectorScratch::new();
+        for s in &snips {
+            assert_eq!(vz.vectorize_frozen(s, &mut scratch), vz.vectorize(s));
+        }
+    }
+
+    #[test]
+    fn unfrozen_batch_matches_sequential_ids_and_vectors() {
+        let snips = annotate_batch_texts();
+        for threads in [1usize, 4] {
+            let mut seq = Vectorizer::paper_default().with_bigrams(true);
+            let expect: Vec<SparseVec> = snips.iter().map(|s| seq.vectorize(s)).collect();
+            let mut par = Vectorizer::paper_default().with_bigrams(true);
+            let got = par.vectorize_batch(&snips, threads);
+            assert_eq!(got, expect, "threads={threads}");
+            // Dense id assignment must be identical, not merely isomorphic.
+            assert_eq!(
+                par.vocabulary().iter().collect::<Vec<_>>(),
+                seq.vocabulary().iter().collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_batch_matches_sequential() {
+        let snips = annotate_batch_texts();
+        let mut vz = Vectorizer::paper_default().with_bigrams(true);
+        for s in &snips {
+            let _ = vz.vectorize(s);
+        }
+        vz.freeze();
+        let expect: Vec<SparseVec> = snips.iter().map(|s| vz.vectorize(s)).collect();
+        for threads in [1usize, 2, 8] {
+            assert_eq!(vz.vectorize_batch(&snips, threads), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a frozen vocabulary")]
+    fn vectorize_frozen_rejects_unfrozen() {
+        let vz = Vectorizer::paper_default();
+        let snip = annotate("profits rose.");
+        let _ = vz.vectorize_frozen(&snip, &mut VectorScratch::new());
     }
 }

@@ -1,0 +1,31 @@
+//! # etap-runtime — zero-dependency execution substrate
+//!
+//! The two ingredients every other ETAP crate leans on, built entirely
+//! from `std` so the workspace compiles with an **empty cargo registry**
+//! (air-gapped CI, vendorless checkouts):
+//!
+//! * [`rng`] — a seeded, reproducible PRNG (SplitMix64 seeding a
+//!   xoshiro256\*\* generator) replacing the external `rand` crate. Same
+//!   seeds → same streams, forever, on every platform.
+//! * [`par`] — deterministic fan-out over OS threads
+//!   (`std::thread::scope`, no rayon). Work is cut into *fixed-size*
+//!   chunks whose results are merged back in input order, so the output
+//!   is bit-identical for **any** thread count, including 1.
+//!
+//! ## Determinism contract
+//!
+//! Parallel code in this workspace must never share one RNG between
+//! workers. Instead, derive one independent stream per chunk from the
+//! master seed ([`rng::Rng::stream`]) and merge chunk results in chunk
+//! order. Because the chunk size is fixed (not derived from the thread
+//! count), `ETAP_THREADS=1` and `ETAP_THREADS=64` produce byte-identical
+//! results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod par;
+pub mod rng;
+
+pub use par::{max_threads, par_chunk_map, par_map, par_map_with, resolve_threads};
+pub use rng::{splitmix64, Rng};

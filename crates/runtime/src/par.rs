@@ -1,0 +1,215 @@
+//! Deterministic thread fan-out (std-only, no rayon).
+//!
+//! The pipeline is embarrassingly parallel over documents and snippets.
+//! This module fans pure per-item work out over `std::thread::scope`
+//! workers while keeping one hard guarantee: **the result is
+//! bit-identical to the sequential path for every thread count.**
+//!
+//! Two properties make that hold:
+//!
+//! 1. work is split into *fixed-size* chunks (independent of the thread
+//!    count), claimed from a shared atomic counter for load balance;
+//! 2. chunk results are merged back in chunk order, so the output
+//!    vector preserves input order exactly.
+//!
+//! RNG-bearing work additionally derives one [`crate::Rng`] stream per
+//! chunk from the master seed (see [`crate::Rng::stream`]) instead of
+//! sharing a generator, so scheduling cannot leak into the numbers.
+//!
+//! The thread count comes from the `ETAP_THREADS` environment variable
+//! (default: `std::thread::available_parallelism`); `ETAP_THREADS=1`
+//! runs everything on the calling thread — the exact legacy code path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Items per work chunk in [`par_map`]/[`par_map_with`]. Fixed (never a
+/// function of the thread count) so chunk boundaries — and therefore
+/// any per-chunk state — are identical no matter how many workers run.
+pub const CHUNK: usize = 64;
+
+/// The configured maximum worker count: `ETAP_THREADS` if set to a
+/// positive integer, otherwise `std::thread::available_parallelism`
+/// (falling back to 1 when even that is unknown).
+#[must_use]
+pub fn max_threads() -> usize {
+    match std::env::var("ETAP_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Resolve a requested thread count: `0` means "use [`max_threads`]",
+/// anything else is taken as-is (callers clamp to the work size).
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        max_threads()
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `n_chunks` chunk indices on up to `threads` workers and
+/// return the results **in chunk order**.
+///
+/// This is the primitive everything else builds on: `f(i)` must depend
+/// only on `i` (plus captured shared state), never on scheduling. Chunks
+/// are claimed work-stealing-style from an atomic counter, so long and
+/// short chunks balance across workers without affecting the output.
+pub fn par_chunk_map<U, F>(n_chunks: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = resolve_threads(threads).clamp(1, n_chunks.max(1));
+    if threads <= 1 || n_chunks <= 1 {
+        return (0..n_chunks).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Batch local results to keep lock traffic off the hot
+                // loop; one lock per worker at the end.
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                slots
+                    .lock()
+                    .expect("worker result mutex poisoned")
+                    .extend(local);
+            });
+        }
+    });
+    let mut results = slots.into_inner().expect("worker result mutex poisoned");
+    results.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(results.len(), n_chunks);
+    results.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Order-preserving parallel map over a slice: `out[i] == f(&items[i])`
+/// for a pure `f`, computed on up to `threads` workers.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(items, threads, || (), |(), item| f(item))
+}
+
+/// [`par_map`] with a per-worker scratch value.
+///
+/// `init` runs once per worker (and once for the sequential fallback);
+/// `f` receives the worker's scratch by `&mut`, letting hot loops reuse
+/// buffers across items instead of allocating per item. Scratch must
+/// not influence results — it is an allocation cache, not state.
+pub fn par_map_with<T, U, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    let n_chunks = items.len().div_ceil(CHUNK);
+    let threads = resolve_threads(threads).clamp(1, n_chunks.max(1));
+    if threads <= 1 || items.len() <= CHUNK {
+        let mut scratch = init();
+        return items.iter().map(|item| f(&mut scratch, item)).collect();
+    }
+
+    let chunks: Vec<Vec<U>> = par_chunk_map(n_chunks, threads, |ci| {
+        let mut scratch = init();
+        items[ci * CHUNK..(ci * CHUNK + CHUNK).min(items.len())]
+            .iter()
+            .map(|item| f(&mut scratch, item))
+            .collect()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            let got = par_map(&items, threads, |&x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunk_map_is_ordered_and_complete() {
+        for threads in [1, 4, 9] {
+            let got = par_chunk_map(37, threads, |i| i * 2);
+            assert_eq!(got, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunked_rng_streams_do_not_depend_on_threads() {
+        // The canonical pattern: chunk i draws from stream i.
+        let draw = |threads: usize| -> Vec<u64> {
+            par_chunk_map(16, threads, |i| {
+                let mut rng = crate::Rng::stream(0xE7A9, i as u64);
+                rng.next_u64()
+            })
+        };
+        let one = draw(1);
+        for threads in [2, 5, 16] {
+            assert_eq!(one, draw(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_reuses_scratch_per_worker() {
+        // Scratch as allocation cache: results must not change.
+        let items: Vec<usize> = (0..500).collect();
+        let got = par_map_with(
+            &items,
+            4,
+            String::new,
+            |buf, &x| {
+                buf.clear();
+                use std::fmt::Write;
+                write!(buf, "{x}").unwrap();
+                buf.len()
+            },
+        );
+        let expected: Vec<usize> = items.iter().map(|x| x.to_string().len()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[42u32], 8, |&x| x + 1), vec![43]);
+        assert!(par_chunk_map(0, 8, |i| i).is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

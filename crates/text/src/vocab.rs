@@ -47,6 +47,29 @@ impl Vocabulary {
         }
     }
 
+    /// Rebuild a vocabulary from terms in id order (id `i` = the `i`-th
+    /// term). The inverse of [`Vocabulary::iter`]; used when thawing
+    /// persisted feature spaces.
+    ///
+    /// # Panics
+    /// Panics if `terms` contains duplicates (ids would be ambiguous).
+    #[must_use]
+    pub fn from_terms<I: IntoIterator<Item = String>>(terms: I) -> Self {
+        let mut v = Self::new();
+        for t in terms {
+            let before = v.len();
+            v.intern(&t);
+            assert_eq!(v.len(), before + 1, "duplicate term {t:?} in id list");
+        }
+        v
+    }
+
+    /// Reserve space for `additional` more terms.
+    pub fn reserve(&mut self, additional: usize) {
+        self.by_term.reserve(additional);
+        self.by_id.reserve(additional);
+    }
+
     /// Intern `term`, returning its id (allocating one if unseen).
     pub fn intern(&mut self, term: &str) -> TermId {
         if let Some(&id) = self.by_term.get(term) {
@@ -56,6 +79,16 @@ impl Vocabulary {
         self.by_term.insert(term.to_string(), id);
         self.by_id.push(term.to_string());
         id
+    }
+
+    /// Intern every term of an iterator, returning ids in order. The
+    /// batched counterpart of [`Vocabulary::intern`] for the training
+    /// path (one reserve, then dense id assignment in first-seen order).
+    pub fn intern_all<'a, I: IntoIterator<Item = &'a str>>(&mut self, terms: I) -> Vec<TermId> {
+        let it = terms.into_iter();
+        let (lo, _) = it.size_hint();
+        self.reserve(lo);
+        it.map(|t| self.intern(t)).collect()
     }
 
     /// Look up an already-interned term without inserting.
@@ -130,6 +163,33 @@ mod tests {
         }
         let terms: Vec<&str> = v.iter().map(|(_, t)| t).collect();
         assert_eq!(terms, vec!["z", "m", "a"]);
+    }
+
+    #[test]
+    fn from_terms_roundtrips_iter_order() {
+        let mut v = Vocabulary::new();
+        for t in ["gamma", "alpha", "beta"] {
+            v.intern(t);
+        }
+        let rebuilt = Vocabulary::from_terms(v.iter().map(|(_, t)| t.to_string()));
+        assert_eq!(rebuilt.len(), v.len());
+        for (id, term) in v.iter() {
+            assert_eq!(rebuilt.get(term), Some(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate term")]
+    fn from_terms_rejects_duplicates() {
+        let _ = Vocabulary::from_terms(["a".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn intern_all_matches_singles() {
+        let mut a = Vocabulary::new();
+        let ids = a.intern_all(["x", "y", "x", "z"]);
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+        assert_eq!(a.len(), 3);
     }
 
     #[test]
