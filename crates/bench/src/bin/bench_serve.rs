@@ -1,0 +1,156 @@
+//! **Serving latency/throughput** — drive `etap-serve` over real
+//! sockets and record what a client sees.
+//!
+//! Boots an in-process server on an ephemeral port from a small trained
+//! snapshot (setup, untimed), then runs N client threads each issuing M
+//! sequential HTTP requests (connection per request, rotating across
+//! `/leads`, `/companies`, `/healthz`, and a driver-filtered `/leads`).
+//! Client-side latencies give the percentiles; 503 responses count as
+//! shed.
+//!
+//! Writes `BENCH_serve.json` into the current directory:
+//!
+//! ```json
+//! {"requests": 800, "clients": 4, "requests_per_sec": ...,
+//!  "p50_ms": ..., "p99_ms": ..., "shed_rate": ...}
+//! ```
+//!
+//! ```sh
+//! cargo run --release -p etap-bench --bin bench_serve
+//! ```
+//!
+//! Knobs: `ETAP_SERVE_CLIENTS` (threads, default 4),
+//! `ETAP_SERVE_REQUESTS` (per client, default 200),
+//! `ETAP_SERVE_BENCH_DOCS` (training web size, default 900), plus the
+//! server's own `ETAP_SERVE_*` variables.
+
+use etap::{DriverSpec, Etap, EtapConfig, SalesDriver};
+use etap_bench::env_usize;
+use etap_corpus::{SyntheticWeb, WebConfig};
+use etap_serve::{LeadSnapshot, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn request(addr: SocketAddr, target: &str) -> (f64, u16) {
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    let status: u16 = std::str::from_utf8(&response)
+        .ok()
+        .and_then(|t| t.split(' ').nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("parse status line");
+    (ms, status)
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+fn main() {
+    // Setup (untimed): a small but real snapshot.
+    let docs = env_usize("ETAP_SERVE_BENCH_DOCS", 900);
+    let web = SyntheticWeb::generate(WebConfig {
+        total_docs: docs,
+        ..WebConfig::default()
+    });
+    let mut config = EtapConfig::paper();
+    config.training.top_docs_per_query = 50;
+    config.training.negative_snippets = (docs * 3 / 2).min(2_000);
+    config.drivers = vec![DriverSpec::builtin(SalesDriver::ChangeInManagement)];
+    eprintln!("training snapshot driver over {docs} docs…");
+    let trained = Arc::new(Etap::new(config).train(&web));
+    let crawl = SyntheticWeb::generate(WebConfig {
+        total_docs: 200,
+        seed: 7,
+        ..WebConfig::default()
+    });
+    let snapshot = Arc::new(LeadSnapshot::build(trained, crawl.docs(), 1));
+    eprintln!(
+        "snapshot: {} events, {} companies",
+        snapshot.book.len(),
+        snapshot.book.companies().len()
+    );
+
+    let server = etap_serve::start(&ServeConfig::from_env(), snapshot).expect("start server");
+    let addr = server.addr();
+
+    let clients = env_usize("ETAP_SERVE_CLIENTS", 4).max(1);
+    let per_client = env_usize("ETAP_SERVE_REQUESTS", 200).max(1);
+    const TARGETS: [&str; 4] = [
+        "/leads?top=5",
+        "/companies?top=5",
+        "/healthz",
+        "/leads?driver=cim&top=3",
+    ];
+
+    eprintln!("load: {clients} clients × {per_client} requests…");
+    let t0 = Instant::now();
+    let mut samples: Vec<(f64, u16)> = Vec::with_capacity(clients * per_client);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let target = TARGETS[(c + i) % TARGETS.len()];
+                        local.push(request(addr, target));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            samples.extend(h.join().expect("client thread"));
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let total = samples.len();
+    let shed = samples.iter().filter(|(_, code)| *code == 503).count();
+    let ok = samples.iter().filter(|(_, code)| *code == 200).count();
+    assert!(ok > 0, "no successful responses");
+    let mut latencies: Vec<f64> = samples.iter().map(|(ms, _)| *ms).collect();
+    latencies.sort_by(f64::total_cmp);
+
+    let requests_per_sec = total as f64 / wall;
+    let p50_ms = percentile(&latencies, 0.50);
+    let p99_ms = percentile(&latencies, 0.99);
+    let shed_rate = shed as f64 / total as f64;
+
+    println!("served {total} requests in {wall:.3} s ({ok} ok, {shed} shed)");
+    println!("  throughput: {requests_per_sec:>9.1} req/s");
+    println!(
+        "  latency   : p50 {p50_ms:.3} ms   p99 {p99_ms:.3} ms   max {:.3} ms",
+        latencies.last().copied().unwrap_or(0.0)
+    );
+    println!("  shed rate : {shed_rate:.4}");
+
+    // Server-side view for the log (quantiles from the live histogram).
+    let metrics = server.metrics();
+    println!(
+        "  server    : p50 {:.3} ms   p99 {:.3} ms   ({} responses)",
+        metrics.latency.quantile_ms(0.5),
+        metrics.latency.quantile_ms(0.99),
+        metrics.latency.count()
+    );
+
+    let json = format!(
+        "{{\"requests\": {total}, \"clients\": {clients}, \"requests_per_sec\": {requests_per_sec:.2}, \
+         \"p50_ms\": {p50_ms:.3}, \"p99_ms\": {p99_ms:.3}, \"shed_rate\": {shed_rate:.4}}}\n"
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json: {json}");
+
+    server.shutdown();
+}

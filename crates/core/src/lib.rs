@@ -47,6 +47,7 @@ pub mod aliases;
 pub mod dedup;
 pub mod events;
 pub mod filter;
+pub mod leads;
 pub mod lexlearn;
 pub mod orientation;
 pub mod persist;
@@ -59,6 +60,7 @@ pub use aliases::AliasResolver;
 pub use dedup::EventDeduper;
 pub use events::{EventIdentifier, TriggerEvent};
 pub use filter::Filter;
+pub use leads::LeadBook;
 pub use lexlearn::LexiconLearner;
 pub use orientation::OrientationLexicon;
 pub use rank::{
@@ -177,11 +179,43 @@ pub struct TrainedEtap {
 }
 
 impl TrainedEtap {
+    /// Reassemble a trained system from persisted drivers (the
+    /// `etap::persist` round-trip) and a snippet window — the serving
+    /// path's entry point: load models, then [`lead_book`](Self::lead_book)
+    /// a crawl into a queryable snapshot.
+    #[must_use]
+    pub fn from_drivers(drivers: Vec<TrainedDriver>, snippet_window: usize) -> Self {
+        Self {
+            drivers,
+            identifier: EventIdentifier::new(snippet_window),
+        }
+    }
+
     /// Identify trigger events across a document collection (all
     /// drivers, unordered).
     #[must_use]
     pub fn identify_events(&self, docs: &[SyntheticDoc]) -> Vec<TriggerEvent> {
         self.identifier.identify(&self.drivers, docs)
+    }
+
+    /// Identify events on an explicit worker-thread count (`0` = the
+    /// `ETAP_THREADS` default). Bit-identical output for any value.
+    #[must_use]
+    pub fn identify_events_parallel(
+        &self,
+        docs: &[SyntheticDoc],
+        threads: usize,
+    ) -> Vec<TriggerEvent> {
+        self.identifier.identify_parallel(&self.drivers, docs, threads)
+    }
+
+    /// Scan `docs` and freeze the result into a queryable [`LeadBook`]
+    /// (global + per-driver rankings, Eq. 2 company MRR, alias-resolved
+    /// company index) — the snapshot-construction path `etap-serve`
+    /// publishes from.
+    #[must_use]
+    pub fn lead_book(&self, docs: &[SyntheticDoc]) -> LeadBook {
+        LeadBook::build(self.identify_events(docs))
     }
 
     /// The trained classifier for one driver, if configured.

@@ -1,6 +1,6 @@
 //! # etap-runtime — zero-dependency execution substrate
 //!
-//! The two ingredients every other ETAP crate leans on, built entirely
+//! The execution ingredients every other ETAP crate leans on, built entirely
 //! from `std` so the workspace compiles with an **empty cargo registry**
 //! (air-gapped CI, vendorless checkouts):
 //!
@@ -11,6 +11,10 @@
 //!   (`std::thread::scope`, no rayon). Work is cut into *fixed-size*
 //!   chunks whose results are merged back in input order, so the output
 //!   is bit-identical for **any** thread count, including 1.
+//! * [`pool`] — a bounded MPMC work queue with fail-fast pushes plus a
+//!   long-lived [`WorkerPool`], the streaming complement to [`par`]'s
+//!   batch fan-out (used by `etap-serve` for request handling and load
+//!   shedding).
 //!
 //! ## Determinism contract
 //!
@@ -25,7 +29,9 @@
 #![warn(missing_docs)]
 
 pub mod par;
+pub mod pool;
 pub mod rng;
 
 pub use par::{max_threads, par_chunk_map, par_map, par_map_with, resolve_threads};
+pub use pool::{Bounded, PushError, WorkerPool};
 pub use rng::{splitmix64, Rng};

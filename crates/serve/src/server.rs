@@ -1,0 +1,615 @@
+//! The serving loop: accept → bounded queue → worker pool → route.
+//!
+//! Architecture (all `std`, see DESIGN.md "Serving"):
+//!
+//! ```text
+//!             ┌────────────┐   try_push    ┌──────────────┐
+//!  accept ───▶│  acceptor  │──────────────▶│ Bounded queue │──▶ workers (etap-runtime pool)
+//!             │   thread   │  full? ──▶ 503│  (capacity N) │      │ read → route → write
+//!             └────────────┘   Retry-After └──────────────┘      ▼
+//!                                                           SnapshotCell (Arc swap)
+//! ```
+//!
+//! * **Backpressure**: the accept queue is bounded; when full the
+//!   acceptor *sheds* the connection immediately with `503` +
+//!   `Retry-After` instead of queueing unboundedly. Shed responses cost
+//!   one small write on the acceptor thread — the workers never see the
+//!   connection.
+//! * **Deadlines**: every request carries one deadline from the moment
+//!   it is accepted (`ETAP_SERVE_DEADLINE_MS`). Queue wait counts
+//!   against it: a request that expires while queued is answered `503`
+//!   without being read; a socket that stalls mid-request gets `408`.
+//! * **Hot swap**: each request loads the published snapshot `Arc`
+//!   exactly once and answers entirely from it, so responses are always
+//!   internally consistent with a single generation.
+//! * **Graceful shutdown**: stop accepting, drain the queue, join the
+//!   workers; in-flight requests complete.
+
+use crate::http::{self, status, Request, RequestError, Status};
+use crate::json::JsonWriter;
+use crate::metrics::Metrics;
+use crate::snapshot::{parse_driver, LeadSnapshot, SnapshotCell};
+use etap::rank::CompanyScore;
+use etap::TriggerEvent;
+use etap_runtime::pool::{Bounded, PushError, WorkerPool};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs; every field has an `ETAP_SERVE_*` environment
+/// override (see [`ServeConfig::from_env`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (`0` = `max(2, ETAP_THREADS)`).
+    pub workers: usize,
+    /// Accept-queue capacity; beyond it connections are shed with 503.
+    pub queue_capacity: usize,
+    /// Per-request deadline (accept → response written), milliseconds.
+    pub deadline_ms: u64,
+    /// Maximum accepted request-body size, bytes (`413` beyond it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 128,
+            deadline_ms: 5_000,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `ETAP_SERVE_ADDR`, `ETAP_SERVE_WORKERS`,
+    /// `ETAP_SERVE_QUEUE`, `ETAP_SERVE_DEADLINE_MS`,
+    /// `ETAP_SERVE_MAX_BODY` (unparsable values keep the default).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("ETAP_SERVE_ADDR") {
+            if !v.trim().is_empty() {
+                cfg.addr = v.trim().to_string();
+            }
+        }
+        let env_usize = |name: &str, default: usize| -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default)
+        };
+        cfg.workers = env_usize("ETAP_SERVE_WORKERS", cfg.workers);
+        cfg.queue_capacity = env_usize("ETAP_SERVE_QUEUE", cfg.queue_capacity).max(1);
+        cfg.deadline_ms = env_usize("ETAP_SERVE_DEADLINE_MS", cfg.deadline_ms as usize) as u64;
+        cfg.max_body_bytes = env_usize("ETAP_SERVE_MAX_BODY", cfg.max_body_bytes);
+        cfg
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            etap_runtime::max_threads().max(2)
+        }
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// Shared state every worker and the acceptor see.
+struct Ctx {
+    cell: SnapshotCell,
+    metrics: Metrics,
+    queue_depth: Arc<Bounded<Job>>,
+    workers: usize,
+    deadline: Duration,
+    max_body: usize,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](Self::shutdown).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    queue: Arc<Bounded<Job>>,
+    stop: Arc<AtomicBool>,
+    generation: AtomicU64,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+/// Bind, spawn the worker pool and acceptor, and return immediately.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.effective_workers();
+    let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(config.queue_capacity));
+
+    let first_generation = initial.generation;
+    let ctx = Arc::new(Ctx {
+        cell: SnapshotCell::new(initial),
+        metrics: Metrics::default(),
+        queue_depth: Arc::clone(&queue),
+        workers,
+        deadline: Duration::from_millis(config.deadline_ms.max(1)),
+        max_body: config.max_body_bytes,
+    });
+    ctx.metrics
+        .snapshot_generation
+        .store(first_generation, Ordering::Relaxed);
+
+    let pool = {
+        let ctx = Arc::clone(&ctx);
+        WorkerPool::spawn("etap-serve", workers, &queue, move |job: Job| {
+            handle_job(&ctx, job);
+        })
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let queue = Arc::clone(&queue);
+        let ctx = Arc::clone(&ctx);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("etap-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &queue, &ctx, &stop))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        queue,
+        stop,
+        generation: AtomicU64::new(first_generation),
+        acceptor: Some(acceptor),
+        pool: Some(pool),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Publish a new snapshot built by the caller, assigning it the
+    /// next generation number. Returns that generation. Never blocks
+    /// readers beyond a pointer swap.
+    pub fn publish(&self, book: etap::LeadBook, trained: Arc<etap::TrainedEtap>) -> u64 {
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let snapshot = Arc::new(LeadSnapshot {
+            generation,
+            book,
+            trained,
+        });
+        self.publish_snapshot(snapshot)
+    }
+
+    /// Publish a fully formed snapshot (the caller owns the generation
+    /// number; it should exceed the current one). Returns its generation.
+    pub fn publish_snapshot(&self, snapshot: Arc<LeadSnapshot>) -> u64 {
+        let generation = snapshot.generation;
+        self.generation.store(generation, Ordering::SeqCst);
+        self.ctx.cell.publish(snapshot);
+        self.ctx
+            .metrics
+            .snapshot_generation
+            .store(generation, Ordering::Relaxed);
+        generation
+    }
+
+    /// The currently published snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<LeadSnapshot> {
+        self.ctx.cell.load()
+    }
+
+    /// Server metrics (live).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.ctx.metrics
+    }
+
+    /// Stop accepting, drain queued and in-flight requests, join every
+    /// thread. Idempotent-safe to call once (consumes the handle).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.queue.close();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &Arc<Bounded<Job>>,
+    ctx: &Arc<Ctx>,
+    stop: &AtomicBool,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or late arrivals) drop here
+        }
+        ctx.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            stream,
+            accepted: Instant::now(),
+        };
+        match queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full(job) | PushError::Closed(job)) => {
+                // Shed at the gate: cheap fixed 503 on the acceptor
+                // thread; workers never see the connection.
+                ctx.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                let mut stream = job.stream;
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let _ = http::write_response(
+                    &mut stream,
+                    status::SERVICE_UNAVAILABLE,
+                    "text/plain; charset=utf-8",
+                    &[("Retry-After", "1")],
+                    b"queue full, retry\n",
+                );
+                ctx.metrics
+                    .record_response(503, job.accepted.elapsed().as_micros() as u64);
+            }
+        }
+    }
+}
+
+fn handle_job(ctx: &Ctx, job: Job) {
+    let Job {
+        mut stream,
+        accepted,
+    } = job;
+    let deadline = accepted + ctx.deadline;
+
+    let finish = |code: u16| {
+        ctx.metrics
+            .record_response(code, accepted.elapsed().as_micros() as u64);
+    };
+
+    // Expired while queued → shed without reading a byte. A budget too
+    // small to plausibly serve (< 5 ms) counts as expired: a zero
+    // Duration is also not a valid socket timeout.
+    let min_budget = Duration::from_millis(5);
+    let now = Instant::now();
+    if now + min_budget >= deadline {
+        ctx.metrics.deadline_total.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        let _ = http::write_response(
+            &mut stream,
+            status::SERVICE_UNAVAILABLE,
+            "text/plain; charset=utf-8",
+            &[("Retry-After", "1")],
+            b"deadline exceeded in queue\n",
+        );
+        finish(503);
+        return;
+    }
+
+    // The remaining budget bounds both socket directions.
+    let remaining = deadline - now;
+    let _ = stream.set_read_timeout(Some(remaining));
+    let _ = stream.set_write_timeout(Some(remaining.max(Duration::from_millis(100))));
+
+    let request = match http::read_request(&mut stream, ctx.max_body) {
+        Ok(req) => req,
+        Err(err) => {
+            let (st, body): (Status, String) = match err {
+                RequestError::Malformed(msg) => {
+                    (status::BAD_REQUEST, format!("malformed request: {msg}\n"))
+                }
+                RequestError::BodyTooLarge => {
+                    (status::PAYLOAD_TOO_LARGE, "body too large\n".to_string())
+                }
+                RequestError::TimedOut => {
+                    ctx.metrics.deadline_total.fetch_add(1, Ordering::Relaxed);
+                    (status::REQUEST_TIMEOUT, "deadline exceeded\n".to_string())
+                }
+                RequestError::Closed | RequestError::Io(_) => {
+                    finish(499); // nginx-style "client closed"; class 4xx
+                    return;
+                }
+            };
+            let _ = http::write_response(
+                &mut stream,
+                st,
+                "text/plain; charset=utf-8",
+                &[],
+                body.as_bytes(),
+            );
+            // Drain whatever request bytes are still in flight before
+            // closing: closing with unread data pending makes the
+            // kernel send RST, which can destroy the response before
+            // the client reads it (observable on oversized bodies).
+            drain_request(&mut stream);
+            finish(st.0);
+            return;
+        }
+    };
+
+    let (st, content_type, headers, body) = route(ctx, &request);
+    let header_refs: Vec<(&str, &str)> = headers
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    let _ = http::write_response(&mut stream, st, content_type, &header_refs, &body);
+    finish(st.0);
+}
+
+/// Discard pending request bytes (bounded in size and time) so the
+/// subsequent close is a clean FIN rather than an RST.
+fn drain_request(stream: &mut TcpStream) {
+    use std::io::Read as _;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 4096];
+    let mut seen = 0usize;
+    while seen < 256 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => seen += n,
+        }
+    }
+}
+
+type Response = (Status, &'static str, Vec<(String, String)>, Vec<u8>);
+
+fn route(ctx: &Ctx, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let snap = ctx.cell.load();
+            let body = format!(
+                "{{\"ok\": true, \"generation\": {}}}\n",
+                snap.generation
+            );
+            json(status::OK, snap.generation, body)
+        }
+        ("GET", "/metrics") => {
+            let body = ctx
+                .metrics
+                .exposition(ctx.queue_depth.len(), ctx.workers);
+            (
+                status::OK,
+                "text/plain; charset=utf-8",
+                Vec::new(),
+                body.into_bytes(),
+            )
+        }
+        ("GET", "/leads") => leads(ctx, req),
+        ("GET", "/companies") => companies(ctx, req),
+        ("GET", path) if path.starts_with("/companies/") && path.ends_with("/events") => {
+            let name = &path["/companies/".len()..path.len() - "/events".len()];
+            company_events(ctx, name)
+        }
+        ("POST", "/score") => score(ctx, req),
+        ("GET", "/score") | ("POST", "/leads" | "/companies" | "/healthz" | "/metrics") => text(
+            status::METHOD_NOT_ALLOWED,
+            "method not allowed\n",
+        ),
+        _ => text(status::NOT_FOUND, "not found\n"),
+    }
+}
+
+fn text(st: Status, body: &str) -> Response {
+    (
+        st,
+        "text/plain; charset=utf-8",
+        Vec::new(),
+        body.as_bytes().to_vec(),
+    )
+}
+
+fn json(st: Status, generation: u64, body: String) -> Response {
+    (
+        st,
+        "application/json",
+        vec![("X-Etap-Generation".to_string(), generation.to_string())],
+        body.into_bytes(),
+    )
+}
+
+fn parse_top(req: &Request, default: usize) -> Result<usize, Response> {
+    match req.param("top") {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| text(status::BAD_REQUEST, "bad top parameter\n")),
+    }
+}
+
+fn write_event(w: &mut JsonWriter, rank: usize, e: &TriggerEvent) {
+    w.begin_object()
+        .key("rank")
+        .uint(rank as u64)
+        .key("driver")
+        .string(e.driver.id())
+        .key("score")
+        .float(e.score)
+        .key("snippet")
+        .string(&e.snippet)
+        .key("url")
+        .string(&e.url)
+        .key("doc_id")
+        .uint(e.doc_id as u64)
+        .key("date")
+        .string(&format!(
+            "{:04}-{:02}-{:02}",
+            e.doc_date.0, e.doc_date.1, e.doc_date.2
+        ))
+        .key("companies")
+        .begin_array();
+    for c in &e.companies {
+        w.string(c);
+    }
+    w.end_array().end_object();
+}
+
+fn leads(ctx: &Ctx, req: &Request) -> Response {
+    let snap = ctx.cell.load();
+    let top = match parse_top(req, 10) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let driver = match req.param("driver") {
+        None => None,
+        Some(spec) => match parse_driver(spec) {
+            Ok(d) => Some(d),
+            Err(_) => return text(status::BAD_REQUEST, "unknown driver\n"),
+        },
+    };
+
+    let selected: Vec<&TriggerEvent> = match driver {
+        Some(d) => snap.book.top_for(d, top),
+        None => snap.book.top(top).iter().collect(),
+    };
+    let total = match driver {
+        Some(d) => snap.book.top_for(d, usize::MAX).len(),
+        None => snap.book.len(),
+    };
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("generation")
+        .uint(snap.generation)
+        .key("driver");
+    match driver {
+        Some(d) => w.string(d.id()),
+        None => w.string("all"),
+    };
+    w.key("total").uint(total as u64).key("leads").begin_array();
+    for (i, e) in selected.iter().enumerate() {
+        write_event(&mut w, i + 1, e);
+    }
+    w.end_array().end_object();
+    json(status::OK, snap.generation, w.finish())
+}
+
+fn write_company(w: &mut JsonWriter, rank: usize, c: &CompanyScore) {
+    w.begin_object()
+        .key("rank")
+        .uint(rank as u64)
+        .key("company")
+        .string(&c.company)
+        .key("mrr")
+        .float(c.mrr)
+        .key("events")
+        .uint(c.events as u64)
+        .end_object();
+}
+
+fn companies(ctx: &Ctx, req: &Request) -> Response {
+    let snap = ctx.cell.load();
+    let top = match parse_top(req, 10) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let ranked = snap.book.companies();
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("generation")
+        .uint(snap.generation)
+        .key("total")
+        .uint(ranked.len() as u64)
+        .key("companies")
+        .begin_array();
+    for (i, c) in ranked.iter().take(top).enumerate() {
+        write_company(&mut w, i + 1, c);
+    }
+    w.end_array().end_object();
+    json(status::OK, snap.generation, w.finish())
+}
+
+fn company_events(ctx: &Ctx, name: &str) -> Response {
+    let snap = ctx.cell.load();
+    let Some((score, events)) = snap.book.company_events(name) else {
+        return text(status::NOT_FOUND, "unknown company\n");
+    };
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("generation")
+        .uint(snap.generation)
+        .key("company")
+        .string(&score.company)
+        .key("mrr")
+        .float(score.mrr)
+        .key("event_count")
+        .uint(score.events as u64)
+        .key("events")
+        .begin_array();
+    for (i, e) in events.iter().enumerate() {
+        write_event(&mut w, i + 1, e);
+    }
+    w.end_array().end_object();
+    json(status::OK, snap.generation, w.finish())
+}
+
+fn score(ctx: &Ctx, req: &Request) -> Response {
+    let snap = ctx.cell.load();
+    let Ok(body_text) = std::str::from_utf8(&req.body) else {
+        return text(status::BAD_REQUEST, "body must be UTF-8 text\n");
+    };
+    if body_text.trim().is_empty() {
+        return text(status::BAD_REQUEST, "empty snippet body\n");
+    }
+    let drivers = match req.param("driver") {
+        None => snap.drivers(),
+        Some(spec) => match parse_driver(spec) {
+            Ok(d) => vec![d],
+            Err(_) => return text(status::BAD_REQUEST, "unknown driver\n"),
+        },
+    };
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("generation")
+        .uint(snap.generation)
+        .key("scores")
+        .begin_array();
+    let mut any = false;
+    for driver in drivers {
+        if let Some(s) = snap.score(driver, body_text) {
+            any = true;
+            w.begin_object()
+                .key("driver")
+                .string(driver.id())
+                .key("score")
+                .float(s)
+                .key("trigger")
+                .boolean(s >= 0.5)
+                .end_object();
+        }
+    }
+    w.end_array().end_object();
+    if !any {
+        return text(status::NOT_FOUND, "no trained model for driver\n");
+    }
+    json(status::OK, snap.generation, w.finish())
+}

@@ -1,0 +1,188 @@
+//! Immutable lead snapshots and the atomic hot-swap cell.
+//!
+//! A [`LeadSnapshot`] bundles everything one *generation* of the system
+//! needs to answer queries: the trained per-driver models (for `POST
+//! /score`) and the frozen [`LeadBook`] rankings (for `GET /leads` and
+//! the company endpoints). Snapshots are **never mutated** after
+//! construction — re-training or re-scanning builds a *new* snapshot
+//! that the [`SnapshotCell`] publishes atomically.
+//!
+//! The swap discipline gives readers a simple consistency guarantee:
+//! a request loads the `Arc<LeadSnapshot>` exactly once and answers
+//! entirely from it, so every response is internally consistent with a
+//! single generation even while a publish is in flight. Readers never
+//! block publishers and publishers never block readers beyond one brief
+//! mutex-protected pointer clone (no reader holds the lock while
+//! serving).
+
+use etap::{LeadBook, SalesDriver, TrainedEtap};
+use etap_corpus::SyntheticDoc;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+
+/// One immutable generation of servable state.
+#[derive(Debug)]
+pub struct LeadSnapshot {
+    /// Monotonically increasing publish counter (1 = first snapshot).
+    pub generation: u64,
+    /// Frozen rankings: global, per-driver, per-company (Eq. 2 MRR).
+    pub book: LeadBook,
+    /// The trained system (shared across generations when only the
+    /// scanned corpus changed, not the models).
+    pub trained: Arc<TrainedEtap>,
+}
+
+impl LeadSnapshot {
+    /// Scan `docs` with `trained` and freeze the result as generation
+    /// `generation`.
+    #[must_use]
+    pub fn build(trained: Arc<TrainedEtap>, docs: &[SyntheticDoc], generation: u64) -> Self {
+        let book = trained.lead_book(docs);
+        Self {
+            generation,
+            book,
+            trained,
+        }
+    }
+
+    /// Like [`build`](Self::build) with an explicit worker-thread count
+    /// for the scan (`0` = the `ETAP_THREADS` default). The resulting
+    /// snapshot is bit-identical for any value — the determinism
+    /// contract of `etap-runtime` extends to served responses.
+    #[must_use]
+    pub fn build_parallel(
+        trained: Arc<TrainedEtap>,
+        docs: &[SyntheticDoc],
+        generation: u64,
+        threads: usize,
+    ) -> Self {
+        let book = LeadBook::build(trained.identify_events_parallel(docs, threads));
+        Self {
+            generation,
+            book,
+            trained,
+        }
+    }
+
+    /// Score raw snippet text against one driver's trained model.
+    /// `None` when the snapshot has no model for `driver`.
+    #[must_use]
+    pub fn score(&self, driver: SalesDriver, text: &str) -> Option<f64> {
+        self.trained.score_snippet(driver, text)
+    }
+
+    /// Drivers with a trained model in this snapshot.
+    #[must_use]
+    pub fn drivers(&self) -> Vec<SalesDriver> {
+        self.trained.drivers.iter().map(|d| d.spec.driver).collect()
+    }
+}
+
+/// Parse the driver names the HTTP API accepts: the CLI short forms
+/// (`ma`, `cim`, `rev`) plus the canonical ids/names `SalesDriver`
+/// itself parses.
+///
+/// # Errors
+/// Returns the unrecognized input.
+pub fn parse_driver(s: &str) -> Result<SalesDriver, String> {
+    match s {
+        "ma" => Ok(SalesDriver::MergersAcquisitions),
+        "cim" => Ok(SalesDriver::ChangeInManagement),
+        "rev" => Ok(SalesDriver::RevenueGrowth),
+        other => SalesDriver::from_str(other).map_err(|_| other.to_string()),
+    }
+}
+
+/// The hot-swap holder: readers [`load`](Self::load) an `Arc` clone,
+/// publishers [`publish`](Self::publish) a replacement. Both operations
+/// touch the mutex only long enough to clone/replace the pointer.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: Mutex<Arc<LeadSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Cell starting at `initial`.
+    #[must_use]
+    pub fn new(initial: Arc<LeadSnapshot>) -> Self {
+        Self {
+            current: Mutex::new(initial),
+        }
+    }
+
+    /// The currently published snapshot. Each request calls this once
+    /// and must answer entirely from the returned `Arc` (that is the
+    /// mixed-generation guard).
+    #[must_use]
+    pub fn load(&self) -> Arc<LeadSnapshot> {
+        Arc::clone(&self.current.lock().expect("snapshot mutex poisoned"))
+    }
+
+    /// Atomically replace the published snapshot, returning the
+    /// generation it superseded. In-flight requests keep serving from
+    /// the old `Arc` until they finish; its memory is freed when the
+    /// last one drops it.
+    pub fn publish(&self, next: Arc<LeadSnapshot>) -> u64 {
+        let mut slot = self.current.lock().expect("snapshot mutex poisoned");
+        let old = slot.generation;
+        *slot = next;
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etap::TriggerEvent;
+
+    fn snapshot(generation: u64) -> Arc<LeadSnapshot> {
+        let trained = Arc::new(TrainedEtap::from_drivers(Vec::new(), 3));
+        let events = vec![TriggerEvent {
+            driver: SalesDriver::RevenueGrowth,
+            doc_id: generation as usize,
+            url: String::new(),
+            snippet: format!("gen {generation}"),
+            score: 0.9,
+            companies: vec!["Acme".into()],
+            doc_date: (2005, 1, 1),
+        }];
+        Arc::new(LeadSnapshot {
+            generation,
+            book: LeadBook::build(events),
+            trained,
+        })
+    }
+
+    #[test]
+    fn publish_swaps_atomically() {
+        let cell = SnapshotCell::new(snapshot(1));
+        let before = cell.load();
+        assert_eq!(before.generation, 1);
+        let superseded = cell.publish(snapshot(2));
+        assert_eq!(superseded, 1);
+        assert_eq!(cell.load().generation, 2);
+        // The old Arc stays valid for in-flight readers.
+        assert_eq!(before.book.events()[0].snippet, "gen 1");
+    }
+
+    #[test]
+    fn driver_parsing_accepts_all_spellings() {
+        assert_eq!(
+            parse_driver("ma").unwrap(),
+            SalesDriver::MergersAcquisitions
+        );
+        assert_eq!(
+            parse_driver("change_in_management").unwrap(),
+            SalesDriver::ChangeInManagement
+        );
+        assert_eq!(parse_driver("rev").unwrap(), SalesDriver::RevenueGrowth);
+        assert!(parse_driver("astrology").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_scores_nothing() {
+        let snap = snapshot(1);
+        assert!(snap.score(SalesDriver::RevenueGrowth, "text").is_none());
+        assert!(snap.drivers().is_empty());
+    }
+}

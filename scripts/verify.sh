@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification + pipeline throughput gate.
+# Tier-1 verification + pipeline throughput gate + serve smoke test.
 #
 # 1. `cargo build --release && cargo test -q` (the repo's tier-1 bar);
 # 2. the throughput benchmark (writes BENCH_pipeline.json);
-# 3. fails if the N-thread pipeline is *slower* than the 1-thread run.
+# 3. fails if the N-thread pipeline is *slower* than the 1-thread run;
+# 4. boots `etap-cli serve` on an ephemeral port, curls /healthz and
+#    /leads, then load-tests with bench_serve (writes BENCH_serve.json)
+#    and fails if any request was shed at nominal load.
 #
 # On a single-core host the parallel path cannot be faster — the gate
 # then only requires that the fan-out overhead stays small (speedup
@@ -34,5 +37,53 @@ if [ "$ok" -ne 1 ]; then
     echo "FAIL: N-thread pipeline slower than 1-thread (speedup ${speedup}x < ${floor})" >&2
     exit 1
 fi
+
 echo
-echo "OK: verify passed (speedup ${speedup}x on ${cores} core(s))"
+echo "== serve smoke: etap-cli serve + curl + bench_serve =="
+smoke_models=$(mktemp -d)
+smoke_log=$(mktemp)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$smoke_models" "$smoke_log"
+}
+trap cleanup EXIT
+
+# Small but real: train one driver, then serve a fresh crawl from it.
+cargo run -q --release --bin etap-cli -- \
+    train --out "$smoke_models" --docs 600 --driver cim >/dev/null
+cargo run -q --release --bin etap-cli -- \
+    serve --models "$smoke_models" --addr 127.0.0.1:0 --docs 120 \
+    >"$smoke_log" 2>/dev/null &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's/^listening on \(http:\/\/[0-9.:]*\)$/\1/p' "$smoke_log")
+    [ -n "$base" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "FAIL: serve exited early" >&2; exit 1; }
+    sleep 0.2
+done
+[ -n "$base" ] || { echo "FAIL: serve never printed its address" >&2; exit 1; }
+echo "serving at $base"
+
+curl -fsS "$base/healthz" | grep -q '"ok": *true' \
+    || { echo "FAIL: /healthz not ok" >&2; exit 1; }
+curl -fsS "$base/leads?top=3" | grep -q '"leads"' \
+    || { echo "FAIL: /leads gave no lead list" >&2; exit 1; }
+echo "smoke: /healthz and /leads respond"
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+cargo run -q --release -p etap-bench --bin bench_serve
+
+shed_rate=$(sed -n 's/.*"shed_rate": \([0-9.]*\).*/\1/p' BENCH_serve.json)
+shed_ok=$(awk -v s="$shed_rate" 'BEGIN { print (s == 0) ? 1 : 0 }')
+if [ "$shed_ok" -ne 1 ]; then
+    echo "FAIL: server shed requests at nominal load (shed_rate ${shed_rate})" >&2
+    exit 1
+fi
+
+echo
+echo "OK: verify passed (speedup ${speedup}x on ${cores} core(s), shed_rate ${shed_rate})"

@@ -6,11 +6,13 @@
 //! etap-cli score --model models/<file>.model --text "IBM acquired Daksh..."
 //! etap-cli companies --models models/ [--docs 300] [--seed 7] [--top 10]
 //! etap-cli eval  --models models/ [--docs 600] [--seed 7]
+//! etap-cli serve --models models/ [--addr 127.0.0.1:8787] [--docs 300] [--seed 7]
 //! ```
 //!
 //! `train` persists one `.model` file per sales driver (text format, see
 //! `etap::persist`); `scan`/`companies` generate a fresh synthetic crawl
-//! and run the trained models over it.
+//! and run the trained models over it; `serve` freezes a crawl into a
+//! lead snapshot and serves it over HTTP (see `etap-serve`).
 
 use etap_repro::system::{persist, rank, AliasResolver, EventIdentifier, TrainedDriver};
 use etap_repro::{DriverSpec, Etap, EtapConfig, SalesDriver, SyntheticWeb, WebConfig};
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
         "score" => cmd_score(&opts),
         "companies" => cmd_companies(&opts),
         "eval" => cmd_eval(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -53,7 +56,11 @@ USAGE:
   etap-cli scan --models <dir> [--docs N] [--seed N] [--top K] [--time-weighted]
   etap-cli score --model <file> --text <snippet>
   etap-cli companies --models <dir> [--docs N] [--seed N] [--top K]
-  etap-cli eval --models <dir> [--docs N] [--seed N]";
+  etap-cli eval --models <dir> [--docs N] [--seed N]
+  etap-cli serve --models <dir> [--addr HOST:PORT] [--docs N] [--seed N] [--window N]
+
+serve env overrides: ETAP_SERVE_ADDR, ETAP_SERVE_WORKERS, ETAP_SERVE_QUEUE,
+ETAP_SERVE_DEADLINE_MS, ETAP_SERVE_MAX_BODY (see README \"Serving\")";
 
 /// Minimal `--flag value` / `--flag` parser.
 struct Opts {
@@ -232,6 +239,41 @@ fn cmd_companies(opts: &Opts) -> Result<(), String> {
         println!("{:<32} {:>7.3} {:>7}", c.company, c.mrr, c.events);
     }
     Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use etap_repro::serve::{LeadSnapshot, ServeConfig};
+    use std::sync::Arc;
+
+    let models = load_models(Path::new(
+        opts.get("models").ok_or("--models <dir> required")?,
+    ))?;
+    let window = opts.usize_or("window", 3);
+    let trained = Arc::new(etap_repro::TrainedEtap::from_drivers(models, window));
+
+    let crawl = fresh_crawl(opts);
+    eprintln!("building lead snapshot (generation 1)…");
+    let snapshot = Arc::new(LeadSnapshot::build(trained, crawl.docs(), 1));
+    eprintln!(
+        "snapshot ready: {} events, {} companies",
+        snapshot.book.len(),
+        snapshot.book.companies().len()
+    );
+
+    let mut config = ServeConfig::from_env();
+    if let Some(addr) = opts.get("addr") {
+        config.addr = addr.to_string();
+    }
+    let server = etap_repro::serve::start(&config, snapshot).map_err(|e| e.to_string())?;
+    // Machine-parsable on stdout: scripts extract the port from here.
+    println!("listening on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve until the process is terminated.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_eval(opts: &Opts) -> Result<(), String> {

@@ -1,0 +1,415 @@
+//! End-to-end tests of `etap-serve`: a real server on an ephemeral
+//! port, driven over real sockets — every endpoint, the error paths
+//! (404/400/405/413/408/503), a snapshot hot-swap under concurrent
+//! load, and thread-count determinism of served responses.
+
+use etap_repro::corpus::{SyntheticWeb, WebConfig};
+use etap_repro::serve::{LeadSnapshot, ServeConfig, ServerHandle};
+use etap_repro::system::{rank, AliasResolver};
+use etap_repro::{DriverSpec, Etap, EtapConfig, SalesDriver, TrainedEtap};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One trained system shared by every test in this binary (training is
+/// the expensive part; the servers themselves are cheap).
+fn trained() -> Arc<TrainedEtap> {
+    static TRAINED: OnceLock<Arc<TrainedEtap>> = OnceLock::new();
+    Arc::clone(TRAINED.get_or_init(|| {
+        let web = SyntheticWeb::generate(WebConfig {
+            total_docs: 600,
+            ..WebConfig::default()
+        });
+        let mut config = EtapConfig::paper();
+        config.training.top_docs_per_query = 50;
+        config.training.negative_snippets = 900;
+        config.training.pure_positives = 10;
+        config.drivers = vec![DriverSpec::builtin(SalesDriver::ChangeInManagement)];
+        Arc::new(Etap::new(config).train(&web))
+    }))
+}
+
+fn crawl(seed: u64) -> SyntheticWeb {
+    SyntheticWeb::generate(WebConfig {
+        total_docs: 80,
+        seed,
+        ..WebConfig::default()
+    })
+}
+
+fn boot(config: &ServeConfig) -> ServerHandle {
+    let snapshot = Arc::new(LeadSnapshot::build(trained(), crawl(7).docs(), 1));
+    etap_repro::serve::start(config, snapshot).expect("start server")
+}
+
+fn boot_default() -> ServerHandle {
+    boot(&ServeConfig::default())
+}
+
+/// Raw HTTP exchange: send `raw` verbatim, return the full response.
+fn exchange_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("write");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read");
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    exchange_raw(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> String {
+    exchange_raw(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"))
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map_or("", |(_, body)| body)
+}
+
+fn header_of<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+    let head = response.split("\r\n\r\n").next()?;
+    head.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        (n.eq_ignore_ascii_case(name)).then(|| v.trim())
+    })
+}
+
+#[test]
+fn healthz_and_metrics() {
+    let server = boot_default();
+    let addr = server.addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(status_of(&health), 200);
+    assert_eq!(body_of(&health), "{\"ok\": true, \"generation\": 1}\n");
+    assert_eq!(header_of(&health, "X-Etap-Generation"), Some("1"));
+
+    let metrics = get(addr, "/metrics");
+    assert_eq!(status_of(&metrics), 200);
+    let body = body_of(&metrics);
+    for family in [
+        "etap_requests_total",
+        "etap_responses_total{class=\"2xx\"}",
+        "etap_shed_total 0",
+        "etap_queue_depth",
+        "etap_snapshot_generation 1",
+        "etap_request_latency_ms{quantile=\"0.99\"}",
+    ] {
+        assert!(body.contains(family), "missing {family} in:\n{body}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn leads_match_offline_ranking_and_companies_match_mrr() {
+    let server = boot_default();
+    let addr = server.addr();
+    let fresh = crawl(7);
+
+    // The offline path the server must agree with byte-for-byte.
+    let events = rank::rank_by_score(trained().identify_events(fresh.docs()));
+    assert!(!events.is_empty(), "test crawl produced no events");
+    let mut resolver = AliasResolver::new();
+    let companies = rank::rank_companies_resolved(&events, &mut resolver);
+
+    let response = get(addr, &format!("/leads?top={}", events.len()));
+    assert_eq!(status_of(&response), 200);
+    let body = body_of(&response);
+    assert!(body.starts_with("{\"generation\":1,"), "{body}");
+    // Every offline event appears, in offline rank order.
+    let mut cursor = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let needle = format!("\"rank\":{},\"driver\":\"{}\"", i + 1, e.driver.id());
+        let at = body[cursor..]
+            .find(&needle)
+            .unwrap_or_else(|| panic!("event {i} out of order: {needle}"));
+        cursor += at;
+        let snippet_at = body[cursor..].find(&etap_repro::serve::json::quote(&e.snippet));
+        assert!(snippet_at.is_some(), "snippet of event {i} missing");
+    }
+
+    // Driver filter returns the same events restricted to that driver.
+    let filtered = get(addr, "/leads?driver=cim&top=1000");
+    let fbody = body_of(&filtered);
+    let offline_cim = events
+        .iter()
+        .filter(|e| e.driver == SalesDriver::ChangeInManagement)
+        .count();
+    assert_eq!(
+        fbody.matches("\"driver\":\"change_in_management\"").count(),
+        offline_cim + 1, // +1: the response's own top-level driver field
+        "{fbody}"
+    );
+
+    // Company ranking matches Eq. 2 MRR order.
+    let response = get(addr, &format!("/companies?top={}", companies.len()));
+    let cbody = body_of(&response);
+    let mut cursor = 0usize;
+    for (i, c) in companies.iter().enumerate() {
+        let needle = format!(
+            "\"rank\":{},\"company\":{}",
+            i + 1,
+            etap_repro::serve::json::quote(&c.company)
+        );
+        let at = cbody[cursor..]
+            .find(&needle)
+            .unwrap_or_else(|| panic!("company {i} ({}) out of order:\n{cbody}", c.company));
+        cursor += at;
+    }
+
+    // Per-company events endpoint: the top company's events, count equal
+    // to its Eq. 2 event count, alias lookup included.
+    let top_company = &companies[0];
+    let response = get(
+        addr,
+        &format!(
+            "/companies/{}/events",
+            top_company.company.replace(' ', "%20")
+        ),
+    );
+    assert_eq!(status_of(&response), 200);
+    let ebody = body_of(&response);
+    assert!(ebody.contains(&format!(
+        "\"event_count\":{}",
+        top_company.events
+    )));
+
+    server.shutdown();
+}
+
+#[test]
+fn score_endpoint_scores_snippets() {
+    let server = boot_default();
+    let addr = server.addr();
+
+    let on_topic = post(
+        addr,
+        "/score?driver=cim",
+        "Acme Corp named Jane Roe as its new CEO on Monday.",
+    );
+    assert_eq!(status_of(&on_topic), 200);
+    let body = body_of(&on_topic);
+    assert!(body.contains("\"driver\":\"change_in_management\""), "{body}");
+    assert!(body.contains("\"trigger\":true"), "{body}");
+
+    let off_topic = post(
+        addr,
+        "/score",
+        "Simmer the sauce for twenty minutes, stirring occasionally.",
+    );
+    assert_eq!(status_of(&off_topic), 200);
+    assert!(body_of(&off_topic).contains("\"trigger\":false"));
+
+    // Unknown driver → 400; driver without a model → 404; empty → 400.
+    assert_eq!(status_of(&post(addr, "/score?driver=astrology", "x")), 400);
+    assert_eq!(status_of(&post(addr, "/score?driver=ma", "some text")), 404);
+    assert_eq!(status_of(&post(addr, "/score", "   ")), 400);
+
+    server.shutdown();
+}
+
+#[test]
+fn error_paths() {
+    let mut config = ServeConfig::default();
+    config.max_body_bytes = 512;
+    config.deadline_ms = 300;
+    let server = boot(&config);
+    let addr = server.addr();
+
+    // 404 unknown route; unknown company.
+    assert_eq!(status_of(&get(addr, "/nope")), 404);
+    assert_eq!(status_of(&get(addr, "/companies/No%20Such%20Co/events")), 404);
+    // 405 wrong method.
+    assert_eq!(status_of(&get(addr, "/score")), 405);
+    assert_eq!(status_of(&post(addr, "/leads", "x")), 405);
+    // 400 malformed request line.
+    let garbage = exchange_raw(addr, b"GARBAGE\r\n\r\n");
+    assert_eq!(status_of(&garbage), 400);
+    // 400 bad query parameter.
+    assert_eq!(status_of(&get(addr, "/leads?top=banana")), 400);
+    assert_eq!(status_of(&get(addr, "/leads?driver=astrology")), 400);
+    // 413 oversized body (declared up front).
+    let big = "x".repeat(4096);
+    let response = post(addr, "/score", &big);
+    assert_eq!(status_of(&response), 413);
+    // 408 deadline exceeded mid-read: send half a request and stall.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"GET /leads HTTP/1.1\r\nHos").expect("write");
+    let mut out = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.read_to_end(&mut out).expect("read");
+    let response = String::from_utf8_lossy(&out);
+    assert_eq!(status_of(&response), 408, "{response}");
+
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_sheds_with_retry_after() {
+    let mut config = ServeConfig::default();
+    config.workers = 1;
+    config.queue_capacity = 1;
+    config.deadline_ms = 1_000;
+    let server = boot(&config);
+    let addr = server.addr();
+
+    // Occupy the single worker with a stalled request…
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled.write_all(b"GET /leads HTTP/1.1\r\n").expect("write");
+    std::thread::sleep(Duration::from_millis(100)); // worker now blocked reading
+    // …fill the queue…
+    let mut queued = TcpStream::connect(addr).expect("connect");
+    queued.write_all(b"GET /healthz HTTP/1.1\r\n").expect("write");
+    std::thread::sleep(Duration::from_millis(100));
+    // …then the next connection must be shed instantly with 503.
+    let shed = get(addr, "/healthz");
+    assert_eq!(status_of(&shed), 503, "{shed}");
+    assert_eq!(header_of(&shed, "Retry-After"), Some("1"));
+
+    drop(stalled);
+    drop(queued);
+    // Metrics recorded the shed.
+    std::thread::sleep(Duration::from_millis(50));
+    let metrics = get(addr, "/metrics");
+    assert!(
+        body_of(&metrics).contains("etap_shed_total 1"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_never_mixes_generations() {
+    let server = Arc::new(boot_default());
+    let addr = server.addr();
+
+    // The two generations' exact /leads bodies (deterministic servers
+    // mean full-body equality is the strongest possible assertion).
+    let body_gen1 = body_of(&get(addr, "/leads?top=5")).to_string();
+    assert!(body_gen1.contains("\"generation\":1"));
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for _ in 0..4 {
+        let stop = Arc::clone(&stop);
+        clients.push(std::thread::spawn(move || {
+            let mut bodies = Vec::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let response = get(addr, "/leads?top=5");
+                assert_eq!(status_of(&response), 200);
+                let generation_header = header_of(&response, "X-Etap-Generation")
+                    .expect("generation header")
+                    .to_string();
+                bodies.push((generation_header, body_of(&response).to_string()));
+            }
+            bodies
+        }));
+    }
+
+    // Publish generation 2 (different crawl) mid-traffic.
+    std::thread::sleep(Duration::from_millis(150));
+    let book2 = trained().lead_book(crawl(99).docs());
+    let published = server.publish(book2, trained());
+    assert_eq!(published, 2);
+    std::thread::sleep(Duration::from_millis(150));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+    let body_gen2 = body_of(&get(addr, "/leads?top=5")).to_string();
+    assert!(body_gen2.contains("\"generation\":2"));
+    assert_ne!(body_gen1, body_gen2, "different crawls must differ");
+
+    let mut saw = [false, false];
+    for client in clients {
+        for (generation_header, body) in client.join().expect("client thread") {
+            // Header and body agree, and the body is exactly one of the
+            // two generations' canonical outputs — nothing in between.
+            if body == body_gen1 {
+                assert_eq!(generation_header, "1");
+                saw[0] = true;
+            } else if body == body_gen2 {
+                assert_eq!(generation_header, "2");
+                saw[1] = true;
+            } else {
+                panic!("mixed-generation response: {body}");
+            }
+        }
+    }
+    assert!(saw[0], "no responses observed from generation 1");
+    assert!(saw[1], "no responses observed from generation 2");
+
+    match Arc::try_unwrap(server) {
+        Ok(server) => server.shutdown(),
+        Err(_) => panic!("client threads still hold the server"),
+    }
+}
+
+#[test]
+fn served_responses_are_identical_for_any_thread_count() {
+    let fresh = crawl(7);
+    let mut bodies = Vec::new();
+    for threads in [1usize, 4] {
+        let snapshot = Arc::new(LeadSnapshot::build_parallel(
+            trained(),
+            fresh.docs(),
+            1,
+            threads,
+        ));
+        let server =
+            etap_repro::serve::start(&ServeConfig::default(), snapshot).expect("start server");
+        let addr = server.addr();
+        let leads = body_of(&get(addr, "/leads?top=50")).to_string();
+        let companies = body_of(&get(addr, "/companies?top=50")).to_string();
+        server.shutdown();
+        bodies.push((leads, companies));
+    }
+    assert_eq!(bodies[0], bodies[1], "threads must not change responses");
+}
+
+#[test]
+fn graceful_shutdown_completes_inflight_requests() {
+    let server = boot_default();
+    let addr = server.addr();
+    // A request in flight when shutdown starts still gets its response:
+    // open the connection first, then shut down concurrently.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("write");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read");
+    let response = String::from_utf8_lossy(&out);
+    // Either it was served (200) before the acceptor stopped, or the
+    // connection was dropped by shutdown (empty) — but never a hang.
+    if !out.is_empty() {
+        assert_eq!(status_of(&response), 200, "{response}");
+    }
+    shutdown.join().expect("shutdown thread");
+    // The port is released: a fresh bind on the same address succeeds.
+    let rebind = std::net::TcpListener::bind(addr);
+    assert!(rebind.is_ok(), "{rebind:?}");
+}
