@@ -151,11 +151,14 @@ impl<T> Bounded<T> {
 /// A fixed set of long-lived worker threads draining a [`Bounded`].
 ///
 /// Each worker runs `handler(item)` for every item it pops and exits
-/// when the queue closes. Panics in a handler kill only that worker —
-/// callers that care should keep handlers panic-free (the ETAP server
-/// catches errors at the request boundary instead).
+/// when the queue closes. A panic in the handler is caught: the item
+/// is lost, the panic is counted (see
+/// [`panic_count`](Self::panic_count)), and the worker keeps draining
+/// — otherwise each panic would silently shrink pool capacity until
+/// every item queues and sheds.
 pub struct WorkerPool {
     handles: Vec<std::thread::JoinHandle<()>>,
+    panics: Arc<AtomicUsize>,
 }
 
 impl WorkerPool {
@@ -166,21 +169,34 @@ impl WorkerPool {
         T: Send + 'static,
         F: Fn(T) + Send + Clone + 'static,
     {
+        let panics = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers.max(1))
             .map(|i| {
                 let queue = Arc::clone(queue);
                 let handler = handler.clone();
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || {
                         while let Some(item) = queue.pop() {
-                            handler(item);
+                            let caught = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| handler(item)),
+                            );
+                            if caught.is_err() {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     })
                     .expect("spawn worker thread")
             })
             .collect();
-        Self { handles }
+        Self { handles, panics }
+    }
+
+    /// Handler panics caught so far (every worker survived them).
+    #[must_use]
+    pub fn panic_count(&self) -> usize {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Number of worker threads.
@@ -271,6 +287,38 @@ mod tests {
         q.close();
         pool.join();
         assert_eq!(sum.load(Ordering::Relaxed), pushed);
+    }
+
+    #[test]
+    fn workers_survive_handler_panics() {
+        let q: Arc<Bounded<usize>> = Arc::new(Bounded::new(16));
+        let processed = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let processed = Arc::clone(&processed);
+            WorkerPool::spawn("panicky-worker", 1, &q, move |x: usize| {
+                if x == 0 {
+                    panic!("boom");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        // A panicking item, then normal items the same (sole) worker
+        // must still be alive to drain.
+        q.try_push(0).unwrap();
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        // Wait for the drain so the counts are settled before join
+        // consumes the pool.
+        for _ in 0..200 {
+            if processed.load(Ordering::Relaxed) == 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(pool.panic_count(), 1);
+        pool.join();
+        assert_eq!(processed.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -166,21 +166,24 @@ fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), Request
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    let path = percent_decode(path).ok_or(RequestError::Malformed("bad path encoding"))?;
+    let path = percent_decode(path, false).ok_or(RequestError::Malformed("bad path encoding"))?;
     let mut query = Vec::new();
     for pair in query_str.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-        let k = percent_decode(k).ok_or(RequestError::Malformed("bad query encoding"))?;
-        let v = percent_decode(v).ok_or(RequestError::Malformed("bad query encoding"))?;
+        let k = percent_decode(k, true).ok_or(RequestError::Malformed("bad query encoding"))?;
+        let v = percent_decode(v, true).ok_or(RequestError::Malformed("bad query encoding"))?;
         query.push((k, v));
     }
     Ok((path, query))
 }
 
-/// Decode `%XX` escapes and `+`-as-space. `None` on malformed escapes
-/// or non-UTF-8 results.
+/// Decode `%XX` escapes; with `plus_as_space` also map `+` to a space.
+/// `+`-as-space is a form-encoding convention that applies only to
+/// query components — in the path `+` stays literal, or a company name
+/// containing `+` could never be addressed. `None` on malformed
+/// escapes or non-UTF-8 results.
 #[must_use]
-pub fn percent_decode(s: &str) -> Option<String> {
+pub fn percent_decode(s: &str, plus_as_space: bool) -> Option<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -193,7 +196,7 @@ pub fn percent_decode(s: &str) -> Option<String> {
                 out.push((hi * 16 + lo) as u8);
                 i += 3;
             }
-            b'+' => {
+            b'+' if plus_as_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -260,10 +263,11 @@ mod tests {
 
     #[test]
     fn percent_decoding() {
-        assert_eq!(percent_decode("a%20b+c").as_deref(), Some("a b c"));
-        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
-        assert_eq!(percent_decode("bad%2"), None);
-        assert_eq!(percent_decode("bad%zz"), None);
+        assert_eq!(percent_decode("a%20b+c", true).as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("a%20b+c", false).as_deref(), Some("a b+c"));
+        assert_eq!(percent_decode("plain", true).as_deref(), Some("plain"));
+        assert_eq!(percent_decode("bad%2", true), None);
+        assert_eq!(percent_decode("bad%zz", true), None);
     }
 
     #[test]
@@ -282,6 +286,10 @@ mod tests {
         assert!(query.is_empty());
         let (path, _) = split_target("/companies/Acme%20Corp./events").unwrap();
         assert_eq!(path, "/companies/Acme Corp./events");
+        // '+' is literal in the path but a space in query components.
+        let (path, query) = split_target("/companies/A+B%2BCo/events?q=a+b").unwrap();
+        assert_eq!(path, "/companies/A+B+Co/events");
+        assert_eq!(query, vec![("q".to_string(), "a b".to_string())]);
     }
 
     #[test]

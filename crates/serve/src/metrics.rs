@@ -100,6 +100,9 @@ pub struct Metrics {
     pub shed_total: AtomicU64,
     /// Requests that hit the read/handle deadline.
     pub deadline_total: AtomicU64,
+    /// Handler panics caught at the worker boundary (the worker
+    /// survives; the connection is dropped and counted as 5xx).
+    pub worker_panics_total: AtomicU64,
     /// Generation of the currently published snapshot.
     pub snapshot_generation: AtomicU64,
     /// End-to-end request latency (dequeue → response written).
@@ -140,6 +143,11 @@ impl Metrics {
             out,
             "etap_deadline_exceeded_total {}",
             self.deadline_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_worker_panics_total {}",
+            self.worker_panics_total.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "etap_queue_depth {queue_depth}");
         let _ = writeln!(out, "etap_workers {workers}");

@@ -154,7 +154,19 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
     let pool = {
         let ctx = Arc::clone(&ctx);
         WorkerPool::spawn("etap-serve", workers, &queue, move |job: Job| {
-            handle_job(&ctx, job);
+            let accepted = job.accepted;
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_job(&ctx, job)));
+            if caught.is_err() {
+                // The stream died with the panic (the client sees a
+                // dropped connection); surface it in /metrics so dead
+                // requests are observable rather than silent.
+                ctx.metrics
+                    .worker_panics_total
+                    .fetch_add(1, Ordering::Relaxed);
+                ctx.metrics
+                    .record_response(500, accepted.elapsed().as_micros() as u64);
+            }
         })
     };
 
@@ -252,18 +264,23 @@ fn accept_loop(
             if stop.load(Ordering::SeqCst) {
                 return;
             }
+            // Back off before retrying: a persistent accept error (e.g.
+            // EMFILE under fd exhaustion) would otherwise busy-spin this
+            // thread at 100% CPU.
+            std::thread::sleep(Duration::from_millis(20));
             continue;
         };
         if stop.load(Ordering::SeqCst) {
             return; // the wake-up connection (or late arrivals) drop here
         }
-        ctx.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
         let job = Job {
             stream,
             accepted: Instant::now(),
         };
         match queue.try_push(job) {
-            Ok(()) => {}
+            Ok(()) => {
+                ctx.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            }
             Err(PushError::Full(job) | PushError::Closed(job)) => {
                 // Shed at the gate: cheap fixed 503 on the acceptor
                 // thread; workers never see the connection.
@@ -277,6 +294,17 @@ fn accept_loop(
                     &[("Retry-After", "1")],
                     b"queue full, retry\n",
                 );
+                // One short best-effort read to consume the request
+                // bytes that typically arrived with the connection:
+                // closing with unread data pending turns the close into
+                // an RST that can destroy the 503 before the client
+                // reads it (the hazard drain_request guards against on
+                // the worker path — a full drain would stall the
+                // acceptor too long under overload).
+                use std::io::Read as _;
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
+                let mut scratch = [0u8; 4096];
+                let _ = stream.read(&mut scratch);
                 ctx.metrics
                     .record_response(503, job.accepted.elapsed().as_micros() as u64);
             }
@@ -405,16 +433,29 @@ fn route(ctx: &Ctx, req: &Request) -> Response {
         }
         ("GET", "/leads") => leads(ctx, req),
         ("GET", "/companies") => companies(ctx, req),
-        ("GET", path) if path.starts_with("/companies/") && path.ends_with("/events") => {
-            let name = &path["/companies/".len()..path.len() - "/events".len()];
-            company_events(ctx, name)
-        }
         ("POST", "/score") => score(ctx, req),
         ("GET", "/score") | ("POST", "/leads" | "/companies" | "/healthz" | "/metrics") => text(
             status::METHOD_NOT_ALLOWED,
             "method not allowed\n",
         ),
+        ("GET", path) => match company_events_name(path) {
+            Some(name) => company_events(ctx, name),
+            None => text(status::NOT_FOUND, "not found\n"),
+        },
         _ => text(status::NOT_FOUND, "not found\n"),
+    }
+}
+
+/// `/companies/<name>/events` → `<name>`. `None` for anything else,
+/// including an empty name and the degenerate `/companies/events`,
+/// where the prefix and suffix overlap — slicing by their lengths
+/// there would compute an inverted range and panic the worker.
+fn company_events_name(path: &str) -> Option<&str> {
+    let name = path.strip_prefix("/companies/")?.strip_suffix("/events")?;
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
     }
 }
 
