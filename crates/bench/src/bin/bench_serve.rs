@@ -2,17 +2,22 @@
 //! sockets and record what a client sees.
 //!
 //! Boots an in-process server on an ephemeral port from a small trained
-//! snapshot (setup, untimed), then runs N client threads each issuing M
-//! sequential HTTP requests (connection per request, rotating across
-//! `/leads`, `/companies`, `/healthz`, and a driver-filtered `/leads`).
-//! Client-side latencies give the percentiles; 503 responses count as
-//! shed.
+//! snapshot (setup, untimed), then runs the same load twice: once with
+//! a fresh connection per request (`Connection: close`) and once with
+//! per-client keep-alive connections reusing a socket until the server
+//! closes it (cap or shutdown). The two passes share clients, request
+//! counts, and target rotation (`/leads`, `/companies`, `/healthz`, a
+//! driver-filtered `/leads`), so their throughput ratio isolates the
+//! connection-setup cost that keep-alive removes. 503 responses count
+//! as shed.
 //!
 //! Writes `BENCH_serve.json` into the current directory:
 //!
 //! ```json
-//! {"requests": 800, "clients": 4, "requests_per_sec": ...,
-//!  "p50_ms": ..., "p99_ms": ..., "shed_rate": ...}
+//! {"requests": 800, "clients": 4,
+//!  "requests_per_sec": ..., "p50_ms": ..., "p99_ms": ..., "shed_rate": ...,
+//!  "keepalive_requests_per_sec": ..., "keepalive_p50_ms": ...,
+//!  "keepalive_p99_ms": ..., "keepalive_speedup": ...}
 //! ```
 //!
 //! ```sh
@@ -33,6 +38,13 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
+const TARGETS: [&str; 4] = [
+    "/leads?top=5",
+    "/companies?top=5",
+    "/healthz",
+    "/leads?driver=cim&top=3",
+];
+
 fn request(addr: SocketAddr, target: &str) -> (f64, u16) {
     let t0 = Instant::now();
     let mut stream = TcpStream::connect(addr).expect("connect");
@@ -49,12 +61,181 @@ fn request(addr: SocketAddr, target: &str) -> (f64, u16) {
     (ms, status)
 }
 
+/// A keep-alive client: one connection reused across requests,
+/// reconnecting when the server closes it (reuse cap, shed). Reads
+/// exactly one response per request (headers + `Content-Length` body,
+/// with a carry buffer for coalesced bytes) instead of `read_to_end`.
+struct KeepAliveClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    carry: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            stream: None,
+            carry: Vec::new(),
+        }
+    }
+
+    fn request(&mut self, target: &str) -> (f64, u16) {
+        let t0 = Instant::now();
+        let req = format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n");
+        // One retry on a fresh connection: the server may have closed
+        // the reused socket (cap reached) between our requests.
+        for attempt in 0..2 {
+            if self.stream.is_none() {
+                let stream = TcpStream::connect(self.addr).expect("connect");
+                // Mirror the server: request n+1 must not queue behind
+                // the delayed ACK of request n's segment.
+                let _ = stream.set_nodelay(true);
+                self.stream = Some(stream);
+                self.carry.clear();
+            }
+            let stream = self.stream.as_mut().expect("connected");
+            let sent = stream.write_all(req.as_bytes()).is_ok();
+            let response = if sent { self.read_one() } else { None };
+            match response {
+                Some((head_close, status)) => {
+                    if head_close {
+                        self.stream = None;
+                    }
+                    let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+                    return (ms, status);
+                }
+                None => {
+                    self.stream = None;
+                    assert!(attempt == 0, "server closed twice for one request");
+                }
+            }
+        }
+        unreachable!()
+    }
+
+    /// Read one full response; `None` when the connection died before a
+    /// complete response arrived. Returns (server-said-close, status).
+    fn read_one(&mut self) -> Option<(bool, u16)> {
+        let stream = self.stream.as_mut()?;
+        let mut buf = std::mem::take(&mut self.carry);
+        let mut chunk = [0u8; 4096];
+        let header_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return None,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (n, v) = l.split_once(':')?;
+                n.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        while buf.len() < header_end + content_length {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return None,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        self.carry = buf.split_off(header_end + content_length);
+        let status = head.split(' ').nth(1).and_then(|c| c.parse().ok())?;
+        let close = head.lines().any(|l| {
+            l.split_once(':').is_some_and(|(n, v)| {
+                n.eq_ignore_ascii_case("connection") && v.trim().eq_ignore_ascii_case("close")
+            })
+        });
+        Some((close, status))
+    }
+}
+
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
     let idx = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
     sorted_ms[idx]
+}
+
+struct PassResult {
+    wall: f64,
+    requests_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    ok: usize,
+    shed: usize,
+    total: usize,
+}
+
+fn summarize(samples: Vec<(f64, u16)>, wall: f64) -> PassResult {
+    let total = samples.len();
+    let shed = samples.iter().filter(|(_, code)| *code == 503).count();
+    let ok = samples.iter().filter(|(_, code)| *code == 200).count();
+    assert!(ok > 0, "no successful responses");
+    let mut latencies: Vec<f64> = samples.iter().map(|(ms, _)| *ms).collect();
+    latencies.sort_by(f64::total_cmp);
+    PassResult {
+        wall,
+        requests_per_sec: total as f64 / wall,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        ok,
+        shed,
+        total,
+    }
+}
+
+fn run_pass(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    keepalive: bool,
+) -> PassResult {
+    let t0 = Instant::now();
+    let mut samples: Vec<(f64, u16)> = Vec::with_capacity(clients * per_client);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(per_client);
+                    let mut ka = KeepAliveClient::new(addr);
+                    for i in 0..per_client {
+                        let target = TARGETS[(c + i) % TARGETS.len()];
+                        local.push(if keepalive {
+                            ka.request(target)
+                        } else {
+                            request(addr, target)
+                        });
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            samples.extend(h.join().expect("client thread"));
+        }
+    });
+    summarize(samples, t0.elapsed().as_secs_f64())
+}
+
+fn print_pass(name: &str, r: &PassResult) {
+    println!(
+        "{name}: {} requests in {:.3} s ({} ok, {} shed)",
+        r.total, r.wall, r.ok, r.shed
+    );
+    println!("  throughput: {:>9.1} req/s", r.requests_per_sec);
+    println!(
+        "  latency   : p50 {:.3} ms   p99 {:.3} ms   max {:.3} ms",
+        r.p50_ms, r.p99_ms, r.max_ms
+    );
 }
 
 fn main() {
@@ -87,67 +268,40 @@ fn main() {
 
     let clients = env_usize("ETAP_SERVE_CLIENTS", 4).max(1);
     let per_client = env_usize("ETAP_SERVE_REQUESTS", 200).max(1);
-    const TARGETS: [&str; 4] = [
-        "/leads?top=5",
-        "/companies?top=5",
-        "/healthz",
-        "/leads?driver=cim&top=3",
-    ];
 
-    eprintln!("load: {clients} clients × {per_client} requests…");
-    let t0 = Instant::now();
-    let mut samples: Vec<(f64, u16)> = Vec::with_capacity(clients * per_client);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
-                scope.spawn(move || {
-                    let mut local = Vec::with_capacity(per_client);
-                    for i in 0..per_client {
-                        let target = TARGETS[(c + i) % TARGETS.len()];
-                        local.push(request(addr, target));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            samples.extend(h.join().expect("client thread"));
-        }
-    });
-    let wall = t0.elapsed().as_secs_f64();
+    eprintln!("pass 1 (connection per request): {clients} clients × {per_client} requests…");
+    let close = run_pass(addr, clients, per_client, false);
+    print_pass("connection-per-request", &close);
 
-    let total = samples.len();
-    let shed = samples.iter().filter(|(_, code)| *code == 503).count();
-    let ok = samples.iter().filter(|(_, code)| *code == 200).count();
-    assert!(ok > 0, "no successful responses");
-    let mut latencies: Vec<f64> = samples.iter().map(|(ms, _)| *ms).collect();
-    latencies.sort_by(f64::total_cmp);
+    eprintln!("pass 2 (keep-alive): {clients} clients × {per_client} requests…");
+    let ka = run_pass(addr, clients, per_client, true);
+    print_pass("keep-alive", &ka);
 
-    let requests_per_sec = total as f64 / wall;
-    let p50_ms = percentile(&latencies, 0.50);
-    let p99_ms = percentile(&latencies, 0.99);
-    let shed_rate = shed as f64 / total as f64;
-
-    println!("served {total} requests in {wall:.3} s ({ok} ok, {shed} shed)");
-    println!("  throughput: {requests_per_sec:>9.1} req/s");
-    println!(
-        "  latency   : p50 {p50_ms:.3} ms   p99 {p99_ms:.3} ms   max {:.3} ms",
-        latencies.last().copied().unwrap_or(0.0)
-    );
-    println!("  shed rate : {shed_rate:.4}");
+    let speedup = ka.requests_per_sec / close.requests_per_sec;
+    println!("  keep-alive speedup: {speedup:.2}× req/s");
 
     // Server-side view for the log (quantiles from the live histogram).
     let metrics = server.metrics();
     println!(
-        "  server    : p50 {:.3} ms   p99 {:.3} ms   ({} responses)",
+        "server: p50 {:.3} ms   p99 {:.3} ms   ({} responses)",
         metrics.latency.quantile_ms(0.5),
         metrics.latency.quantile_ms(0.99),
         metrics.latency.count()
     );
 
+    let shed_rate = close.shed as f64 / close.total as f64;
     let json = format!(
-        "{{\"requests\": {total}, \"clients\": {clients}, \"requests_per_sec\": {requests_per_sec:.2}, \
-         \"p50_ms\": {p50_ms:.3}, \"p99_ms\": {p99_ms:.3}, \"shed_rate\": {shed_rate:.4}}}\n"
+        "{{\"requests\": {}, \"clients\": {clients}, \"requests_per_sec\": {:.2}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"shed_rate\": {shed_rate:.4}, \
+         \"keepalive_requests_per_sec\": {:.2}, \"keepalive_p50_ms\": {:.3}, \
+         \"keepalive_p99_ms\": {:.3}, \"keepalive_speedup\": {speedup:.2}}}\n",
+        close.total,
+        close.requests_per_sec,
+        close.p50_ms,
+        close.p99_ms,
+        ka.requests_per_sec,
+        ka.p50_ms,
+        ka.p99_ms,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json: {json}");

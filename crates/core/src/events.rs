@@ -75,6 +75,12 @@ impl EventIdentifier {
         &self.annotator
     }
 
+    /// The snippet window size `n` this identifier splits documents by.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.snipgen.window()
+    }
+
     /// Scan `docs` with every trained driver; return all flagged events
     /// (unordered — ranking is the next component's job). Runs on up to
     /// `self.threads` worker threads; the result is bit-identical to a

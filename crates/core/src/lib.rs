@@ -218,6 +218,14 @@ impl TrainedEtap {
         LeadBook::build(self.identify_events(docs))
     }
 
+    /// The snippet window size the event identifier was built with
+    /// (persisted alongside the models so a reloaded system identifies
+    /// events identically).
+    #[must_use]
+    pub fn snippet_window(&self) -> usize {
+        self.identifier.window()
+    }
+
     /// The trained classifier for one driver, if configured.
     #[must_use]
     pub fn driver(&self, driver: SalesDriver) -> Option<&TrainedDriver> {

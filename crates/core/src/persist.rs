@@ -1,89 +1,200 @@
-//! Model persistence: save and load trained per-driver classifiers.
+//! Model and event persistence on the shared `etap-persist` codec.
 //!
-//! A production ETAP trains offline and scores a live crawl; the trained
-//! artifacts (feature vocabulary, abstraction policy, naïve-Bayes
-//! parameters) must round-trip through disk. The format is a simple
-//! line-oriented text file — versioned, diff-able, and free of external
-//! dependencies:
+//! A production ETAP trains offline and scores a live crawl; both the
+//! trained artifacts (feature vocabulary, abstraction policy,
+//! naïve-Bayes parameters) and the scored output (ranked trigger
+//! events) must round-trip through disk. Everything here speaks the
+//! `etap-persist` text codec: `ETAP <KIND> v<n>` header, tab-separated
+//! backslash-escaped fields, `#sum` checksum trailer (see DESIGN.md §9
+//! for the grammar).
 //!
-//! ```text
-//! ETAP-MODEL v1
-//! driver <id>
-//! policy-entity <TAG> <Abstract|Instance|Drop>   ×13
-//! policy-pos <tag> <Abstract|Instance|Drop>      ×13
-//! bigrams <true|false>
-//! prior <log_p_pos> <log_p_neg>
-//! unseen <log_u_pos> <log_u_neg>
-//! features <n>
-//! <term-with-possible-spaces>\t<ll_pos>\t<ll_neg> ×n   (id = line order)
-//! ```
+//! Two document kinds live in this module:
+//!
+//! * **`MODEL` v2** — one trained per-driver classifier:
+//!
+//!   ```text
+//!   ETAP MODEL v2
+//!   driver <id>
+//!   policy-entity <TAG> <Abstract|Instance|Drop>   ×13
+//!   policy-pos <tag> <Abstract|Instance|Drop>      ×13
+//!   bigrams <true|false>
+//!   prior <log_p_pos> <log_p_neg>
+//!   unseen <log_u_pos> <log_u_neg>
+//!   features <n>
+//!   f <term> <ll_pos> <ll_neg>                     ×n (id = order)
+//!   #sum <fnv1a64>
+//!   ```
+//!
+//!   (fields are tab-separated; spelled with spaces above for
+//!   legibility). The pre-codec `ETAP-MODEL v1` format — no escaping,
+//!   no checksum — is still read for existing `.model` files.
+//!
+//! * **`LEADS` v1** — a ranked event list (the serializable heart of a
+//!   [`LeadBook`]): a `count` record, then one `e` record per event
+//!   (driver, doc id, score, date, url, snippet, companies…). Scores
+//!   print in shortest-round-trip form, so a reloaded book is
+//!   *bit-identical* to the one saved.
 
+use crate::events::TriggerEvent;
+use crate::leads::LeadBook;
 use crate::spec::DriverSpec;
 use crate::training::{TrainedDriver, TrainingReport};
 use etap_annotate::{EntityCategory, PosTag};
 use etap_classify::nb::MultinomialNbModel;
 use etap_corpus::SalesDriver;
 use etap_features::{AbstractionPolicy, CategoryChoice, Vectorizer};
+use etap_persist::{CodecError, Record, Writer};
 use etap_text::Vocabulary;
-use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 use std::str::FromStr;
 
-/// Serialize a trained driver to the v1 text format.
+/// Codec kind of trained-model documents.
+pub const MODEL_KIND: &str = "MODEL";
+/// Highest `MODEL` version this build reads/writes.
+pub const MODEL_VERSION: u32 = 2;
+/// Codec kind of ranked-event documents.
+pub const LEADS_KIND: &str = "LEADS";
+/// Highest `LEADS` version this build reads/writes.
+pub const LEADS_VERSION: u32 = 1;
+
+/// Serialize a trained driver to the v2 codec format.
 #[must_use]
 pub fn to_string(trained: &TrainedDriver) -> String {
     let vocab = trained.vectorizer.vocabulary();
     let policy = trained.vectorizer.policy();
     let (ll, prior, unseen) = trained.model.parts();
 
-    let mut out = String::with_capacity(vocab.len() * 48 + 1024);
-    out.push_str("ETAP-MODEL v1\n");
-    let _ = writeln!(out, "driver {}", trained.spec.driver.id());
+    let mut w = Writer::new(MODEL_KIND, MODEL_VERSION);
+    w.record(["driver", trained.spec.driver.id()]);
     for cat in EntityCategory::ALL {
-        let _ = writeln!(
-            out,
-            "policy-entity {} {}",
-            cat.tag(),
-            choice_name(policy.entity_choice(cat))
-        );
+        w.record(["policy-entity", cat.tag(), choice_name(policy.entity_choice(cat))]);
     }
     for tag in PosTag::ALL {
-        let _ = writeln!(
-            out,
-            "policy-pos {} {}",
-            tag.tag(),
-            choice_name(policy.pos_choice(tag))
-        );
+        w.record(["policy-pos", tag.tag(), choice_name(policy.pos_choice(tag))]);
     }
-    let _ = writeln!(out, "bigrams {}", trained.vectorizer.has_bigrams());
-    let _ = writeln!(out, "prior {} {}", prior[0], prior[1]);
-    let _ = writeln!(out, "unseen {} {}", unseen[0], unseen[1]);
-    let _ = writeln!(out, "features {}", vocab.len());
+    w.record(["bigrams", if trained.vectorizer.has_bigrams() { "true" } else { "false" }]);
+    w.record(["prior", &prior[0].to_string(), &prior[1].to_string()]);
+    w.record(["unseen", &unseen[0].to_string(), &unseen[1].to_string()]);
+    w.record(["features", &vocab.len().to_string()]);
     for (id, term) in vocab.iter() {
         let i = id as usize;
         let lp = ll[0].get(i).copied().unwrap_or(unseen[0]);
         let ln = ll[1].get(i).copied().unwrap_or(unseen[1]);
-        let _ = writeln!(out, "{term}\t{lp}\t{ln}");
+        w.record([term, &lp.to_string(), &ln.to_string()]);
     }
-    out
+    w.finish()
 }
 
-/// Save a trained driver to a file.
+/// Save a trained driver to a file (atomically: tmp + fsync + rename).
 ///
 /// # Errors
 /// Propagates filesystem errors.
 pub fn save(trained: &TrainedDriver, path: &Path) -> io::Result<()> {
-    std::fs::write(path, to_string(trained))
+    etap_persist::write_atomic(path, &to_string(trained))
 }
 
-/// Parse the v1 text format back into a [`TrainedDriver`]. The driver's
-/// spec is re-created from the built-in registry (specs are code, not
-/// data); the training report is zeroed (it described the original run).
+/// Parse a persisted model (codec v2, or the legacy `ETAP-MODEL v1`
+/// text) back into a [`TrainedDriver`]. The driver's spec is re-created
+/// from the built-in registry (specs are code, not data); the training
+/// report is zeroed (it described the original run).
 ///
 /// # Errors
-/// Returns `InvalidData` on any malformed line.
+/// Returns `InvalidData` on any malformed content (checksum mismatch,
+/// future version, bad record…).
 pub fn from_str(text: &str) -> io::Result<TrainedDriver> {
+    if text.starts_with("ETAP-MODEL v1") {
+        return from_str_v1(text);
+    }
+    decode_model(text).map_err(io::Error::from)
+}
+
+fn decode_model(text: &str) -> Result<TrainedDriver, CodecError> {
+    let (_, records) = etap_persist::parse(text, MODEL_KIND, MODEL_VERSION)?;
+    let mut records = records.into_iter();
+
+    let mut driver: Option<SalesDriver> = None;
+    let mut policy = AbstractionPolicy::paper_default();
+    let mut prior = [0.0f64; 2];
+    let mut unseen = [0.0f64; 2];
+    let mut bigrams = false;
+    let mut n_features: Option<usize> = None;
+
+    for rec in records.by_ref() {
+        match rec.tag() {
+            "driver" => {
+                driver = Some(
+                    SalesDriver::from_str(rec.str(1)?)
+                        .map_err(|e| rec.malformed(format!("unknown driver: {e}")))?,
+                );
+            }
+            "policy-entity" => {
+                let cat: EntityCategory = rec
+                    .str(1)?
+                    .parse()
+                    .map_err(|_| rec.malformed("unknown entity tag"))?;
+                policy.set_entity(cat, parse_choice(&rec, 2)?);
+            }
+            "policy-pos" => {
+                let tag = rec.str(1)?;
+                let pos = PosTag::ALL
+                    .iter()
+                    .copied()
+                    .find(|t| t.tag() == tag)
+                    .ok_or_else(|| rec.malformed("unknown pos tag"))?;
+                policy.set_pos(pos, parse_choice(&rec, 2)?);
+            }
+            "bigrams" => bigrams = rec.str(1)? == "true",
+            "prior" => prior = [rec.parse(1)?, rec.parse(2)?],
+            "unseen" => unseen = [rec.parse(1)?, rec.parse(2)?],
+            "features" => {
+                n_features = Some(rec.parse(1)?);
+                break;
+            }
+            other => return Err(rec.malformed(format!("unexpected record `{other}`"))),
+        }
+    }
+    let driver = driver.ok_or(CodecError::Malformed {
+        line: 0,
+        msg: "missing driver record".to_string(),
+    })?;
+    let n_features = n_features.ok_or(CodecError::Malformed {
+        line: 0,
+        msg: "missing features record".to_string(),
+    })?;
+
+    let mut vocab = Vocabulary::with_capacity(n_features);
+    let mut ll = [
+        Vec::with_capacity(n_features),
+        Vec::with_capacity(n_features),
+    ];
+    for rec in records {
+        vocab.intern(rec.str(0)?);
+        ll[0].push(rec.parse(1)?);
+        ll[1].push(rec.parse(2)?);
+    }
+    if vocab.len() != n_features {
+        return Err(CodecError::Malformed {
+            line: 0,
+            msg: format!(
+                "feature count mismatch: header says {n_features}, file has {}",
+                vocab.len()
+            ),
+        });
+    }
+
+    Ok(TrainedDriver {
+        spec: DriverSpec::builtin(driver),
+        vectorizer: Vectorizer::from_parts(policy, vocab, bigrams),
+        model: MultinomialNbModel::from_parts(ll, prior, unseen),
+        report: zeroed_report(),
+    })
+}
+
+/// Legacy reader for the pre-codec `ETAP-MODEL v1` line format (no
+/// escaping, no checksum) so `.model` files written by earlier builds
+/// keep loading.
+fn from_str_v1(text: &str) -> io::Result<TrainedDriver> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
     let mut lines = text.lines();
     if lines.next() != Some("ETAP-MODEL v1") {
@@ -105,7 +216,7 @@ pub fn from_str(text: &str) -> io::Result<TrainedDriver> {
         if let Some(rest) = line.strip_prefix("policy-entity ") {
             let (tag, choice) = split2(rest).ok_or_else(|| bad("malformed policy-entity"))?;
             let cat: EntityCategory = tag.parse().map_err(|_| bad("unknown entity tag"))?;
-            policy.set_entity(cat, parse_choice(choice).ok_or_else(|| bad("bad choice"))?);
+            policy.set_entity(cat, parse_choice_v1(choice).ok_or_else(|| bad("bad choice"))?);
         } else if let Some(rest) = line.strip_prefix("policy-pos ") {
             let (tag, choice) = split2(rest).ok_or_else(|| bad("malformed policy-pos"))?;
             let pos = PosTag::ALL
@@ -113,7 +224,7 @@ pub fn from_str(text: &str) -> io::Result<TrainedDriver> {
                 .copied()
                 .find(|t| t.tag() == tag)
                 .ok_or_else(|| bad("unknown pos tag"))?;
-            policy.set_pos(pos, parse_choice(choice).ok_or_else(|| bad("bad choice"))?);
+            policy.set_pos(pos, parse_choice_v1(choice).ok_or_else(|| bad("bad choice"))?);
         } else if let Some(rest) = line.strip_prefix("bigrams ") {
             bigrams = rest == "true";
         } else if let Some(rest) = line.strip_prefix("prior ") {
@@ -159,13 +270,7 @@ pub fn from_str(text: &str) -> io::Result<TrainedDriver> {
         spec: DriverSpec::builtin(driver),
         vectorizer: Vectorizer::from_parts(policy, vocab, bigrams),
         model: MultinomialNbModel::from_parts(ll, prior, unseen),
-        report: TrainingReport {
-            docs_fetched: 0,
-            snippets_considered: 0,
-            noisy_positives: 0,
-            retained_positives: 0,
-            iterations: 0,
-        },
+        report: zeroed_report(),
     })
 }
 
@@ -177,6 +282,112 @@ pub fn load(path: &Path) -> io::Result<TrainedDriver> {
     from_str(&std::fs::read_to_string(path)?)
 }
 
+// ---------------------------------------------------------------------
+// Ranked trigger events (`LEADS` documents)
+// ---------------------------------------------------------------------
+
+/// Serialize a ranked event list to a `LEADS` document.
+#[must_use]
+pub fn events_to_string(events: &[TriggerEvent]) -> String {
+    let mut w = Writer::new(LEADS_KIND, LEADS_VERSION);
+    w.record(["count", &events.len().to_string()]);
+    for e in events {
+        let mut fields: Vec<&str> = Vec::with_capacity(9 + e.companies.len());
+        let doc_id = e.doc_id.to_string();
+        let score = e.score.to_string();
+        let (y, m, d) = e.doc_date;
+        let (y, m, d) = (y.to_string(), m.to_string(), d.to_string());
+        fields.push("e");
+        fields.push(e.driver.id());
+        fields.push(&doc_id);
+        fields.push(&score);
+        fields.push(&y);
+        fields.push(&m);
+        fields.push(&d);
+        fields.push(&e.url);
+        fields.push(&e.snippet);
+        for c in &e.companies {
+            fields.push(c);
+        }
+        w.record(fields);
+    }
+    w.finish()
+}
+
+/// Parse a `LEADS` document back into its event list (in stored order).
+///
+/// # Errors
+/// Typed codec errors: checksum/truncation/corruption, a count
+/// mismatch, or malformed event records.
+pub fn events_from_str(text: &str) -> Result<Vec<TriggerEvent>, CodecError> {
+    let (_, records) = etap_persist::parse(text, LEADS_KIND, LEADS_VERSION)?;
+    let mut expected: Option<usize> = None;
+    let mut events = Vec::new();
+    for rec in records {
+        match rec.tag() {
+            "count" => {
+                if expected.replace(rec.parse(1)?).is_some() {
+                    return Err(rec.malformed("duplicate count record"));
+                }
+            }
+            "e" => events.push(decode_event(&rec)?),
+            other => return Err(rec.malformed(format!("unexpected record `{other}`"))),
+        }
+    }
+    match expected {
+        Some(n) if n == events.len() => Ok(events),
+        Some(n) => Err(CodecError::Malformed {
+            line: 0,
+            msg: format!("count record says {n} events, file has {}", events.len()),
+        }),
+        None => Err(CodecError::Malformed {
+            line: 0,
+            msg: "missing count record".to_string(),
+        }),
+    }
+}
+
+fn decode_event(rec: &Record) -> Result<TriggerEvent, CodecError> {
+    let driver = SalesDriver::from_str(rec.str(1)?)
+        .map_err(|e| rec.malformed(format!("unknown driver: {e}")))?;
+    Ok(TriggerEvent {
+        driver,
+        doc_id: rec.parse(2)?,
+        score: rec.parse(3)?,
+        doc_date: (rec.parse(4)?, rec.parse(5)?, rec.parse(6)?),
+        url: rec.str(7)?.to_string(),
+        snippet: rec.str(8)?.to_string(),
+        companies: rec.fields.get(9..).unwrap_or(&[]).to_vec(),
+    })
+}
+
+/// Serialize a [`LeadBook`] — its ranked events are the whole state;
+/// the per-driver/per-company indices are recomputed on load.
+#[must_use]
+pub fn book_to_string(book: &LeadBook) -> String {
+    events_to_string(book.events())
+}
+
+/// Rebuild a [`LeadBook`] from a `LEADS` document. Because the ranking
+/// order is total and the indices are pure functions of the ranked
+/// list, the rebuilt book is bit-identical to the one serialized.
+///
+/// # Errors
+/// See [`events_from_str`].
+pub fn book_from_str(text: &str) -> Result<LeadBook, CodecError> {
+    Ok(LeadBook::build(events_from_str(text)?))
+}
+
+fn zeroed_report() -> TrainingReport {
+    TrainingReport {
+        docs_fetched: 0,
+        snippets_considered: 0,
+        noisy_positives: 0,
+        retained_positives: 0,
+        iterations: 0,
+    }
+}
+
 fn choice_name(c: CategoryChoice) -> &'static str {
     match c {
         CategoryChoice::Abstract => "Abstract",
@@ -185,7 +396,11 @@ fn choice_name(c: CategoryChoice) -> &'static str {
     }
 }
 
-fn parse_choice(s: &str) -> Option<CategoryChoice> {
+fn parse_choice(rec: &Record, i: usize) -> Result<CategoryChoice, CodecError> {
+    parse_choice_v1(rec.str(i)?).ok_or_else(|| rec.malformed("bad abstraction choice"))
+}
+
+fn parse_choice_v1(s: &str) -> Option<CategoryChoice> {
     match s {
         "Abstract" => Some(CategoryChoice::Abstract),
         "Instance" => Some(CategoryChoice::Instance),
@@ -244,7 +459,7 @@ mod tests {
             let ann = annotator.annotate(probe);
             let a = trained.score(&ann);
             let b = restored.score(&ann);
-            assert!((a - b).abs() < 1e-9, "{probe}: {a} vs {b}");
+            assert!((a - b).abs() < 1e-12, "{probe}: {a} vs {b}");
         }
     }
 
@@ -256,7 +471,7 @@ mod tests {
         let restored = load(&path).expect("load");
         let annotator = Annotator::new();
         let ann = annotator.annotate("Oracle appointed James Wilson CTO, effective immediately.");
-        assert!((trained.score(&ann) - restored.score(&ann)).abs() < 1e-9);
+        assert!((trained.score(&ann) - restored.score(&ann)).abs() < 1e-12);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -267,10 +482,24 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_models_still_load() {
+        // A hand-built minimal v1 file (no checksum, space-separated
+        // header records, raw tab-separated feature lines).
+        let mut v1 = String::from("ETAP-MODEL v1\ndriver change_in_management\n");
+        v1.push_str("bigrams false\nprior -0.5 -1.0\nunseen -9.0 -8.0\nfeatures 2\n");
+        v1.push_str("alpha\t-1.5\t-2.5\nbeta beta\t-3.5\t-4.5\n");
+        let restored = from_str(&v1).expect("legacy parse");
+        assert_eq!(restored.spec.driver, SalesDriver::ChangeInManagement);
+        let vocab = restored.vectorizer.vocabulary();
+        assert_eq!(vocab.len(), 2);
+        assert_eq!(vocab.term(1), Some("beta beta"));
+    }
+
+    #[test]
     fn truncated_file_rejected() {
         let trained = quick_trained();
         let text = to_string(&trained);
-        // Chop off the last 30 lines.
+        // Chop off the last 30 lines (losing the checksum trailer).
         let truncated: String = text
             .lines()
             .take(text.lines().count().saturating_sub(30))
@@ -280,12 +509,20 @@ mod tests {
     }
 
     #[test]
-    fn terms_with_spaces_survive() {
+    fn corrupted_file_rejected() {
+        let trained = quick_trained();
+        let mut bytes = to_string(&trained).into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = if bytes[mid] == b'0' { b'1' } else { b'0' };
+        let corrupt = String::from_utf8(bytes).expect("ascii-safe flip");
+        let err = from_str(&corrupt).expect_err("checksum must catch the flip");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn terms_with_spaces_and_tabs_survive() {
         let trained = quick_trained();
         let vocab = trained.vectorizer.vocabulary();
-        // The harvest reliably interns multi-word feature names only in
-        // instance mode; at minimum the format must not corrupt the
-        // vocabulary order.
         let text = to_string(&trained);
         let restored = from_str(&text).expect("parse");
         let rv = restored.vectorizer.vocabulary();
@@ -293,5 +530,61 @@ mod tests {
         for (id, term) in vocab.iter() {
             assert_eq!(rv.term(id), Some(term));
         }
+    }
+
+    fn event(driver: SalesDriver, doc_id: usize, score: f64, companies: &[&str]) -> TriggerEvent {
+        TriggerEvent {
+            driver,
+            doc_id,
+            url: format!("http://t/{doc_id}"),
+            snippet: format!("snippet\twith tab {doc_id}\nand newline"),
+            score,
+            companies: companies.iter().map(ToString::to_string).collect(),
+            doc_date: (2005, 6, 15),
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_bit_exactly() {
+        let events = vec![
+            event(SalesDriver::RevenueGrowth, 0, 0.9123456789012345, &["Acme"]),
+            event(SalesDriver::MergersAcquisitions, 1, 0.5, &[]),
+            event(
+                SalesDriver::ChangeInManagement,
+                2,
+                1.0 / 3.0,
+                &["Zed Ltd", "A\tB"],
+            ),
+        ];
+        let text = events_to_string(&events);
+        let back = events_from_str(&text).expect("parse");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn book_roundtrip_is_bit_identical() {
+        let events = vec![
+            event(SalesDriver::RevenueGrowth, 0, 0.9, &["Acme"]),
+            event(SalesDriver::RevenueGrowth, 1, 0.8, &["Acme Corp."]),
+            event(SalesDriver::MergersAcquisitions, 2, 0.95, &["Zed Ltd"]),
+        ];
+        let book = LeadBook::build(events);
+        let text = book_to_string(&book);
+        let back = book_from_str(&text).expect("parse");
+        assert_eq!(back, book);
+        // And a second serialization is byte-identical.
+        assert_eq!(book_to_string(&back), text);
+    }
+
+    #[test]
+    fn leads_count_mismatch_rejected() {
+        let events = vec![event(SalesDriver::RevenueGrowth, 0, 0.9, &["Acme"])];
+        let text = events_to_string(&events);
+        // Drop the event line but keep a valid checksum by re-encoding.
+        let mut w = Writer::new(LEADS_KIND, LEADS_VERSION);
+        w.record(["count", "3"]);
+        let forged = w.finish();
+        assert!(events_from_str(&forged).is_err());
+        assert!(events_from_str(&text).is_ok());
     }
 }

@@ -19,12 +19,27 @@ use etap_annotate::Annotator;
 use etap_corpus::SalesDriver;
 use std::collections::HashMap;
 
-/// Sort events by classifier score, best first (stable for equal
-/// scores: document order).
+/// Sort events by classifier score, best first. Ties break by document
+/// id, then driver, then snippet text — a *total* order (up to fully
+/// identical events), so the ranked output is a pure function of the
+/// event *set*, independent of input order. That permutation invariance
+/// is what lets an incremental rebuild (persisted ranked events + a
+/// freshly identified delta) reproduce a full rebuild bit-for-bit.
 #[must_use]
 pub fn rank_by_score(mut events: Vec<TriggerEvent>) -> Vec<TriggerEvent> {
-    events.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id)));
+    events.sort_by(event_order);
     events
+}
+
+/// The total ranking order used by [`rank_by_score`] (exposed so other
+/// components can assert or reuse the exact discipline).
+#[must_use]
+pub fn event_order(a: &TriggerEvent, b: &TriggerEvent) -> std::cmp::Ordering {
+    b.score
+        .total_cmp(&a.score)
+        .then(a.doc_id.cmp(&b.doc_id))
+        .then(a.driver.cmp(&b.driver))
+        .then_with(|| a.snippet.cmp(&b.snippet))
 }
 
 /// Sort events by semantic-orientation score (returned alongside each
@@ -132,7 +147,7 @@ fn rank_companies_with(
     let mut driver_lists: Vec<(SalesDriver, Vec<&TriggerEvent>)> = by_driver.into_iter().collect();
     driver_lists.sort_by_key(|(d, _)| *d);
     for (_, list) in &mut driver_lists {
-        list.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id)));
+        list.sort_by(|a, b| event_order(a, b));
         for (idx, e) in list.iter().enumerate() {
             let rank = idx + 1;
             for company in &e.companies {

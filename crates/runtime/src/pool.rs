@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a [`Bounded::try_push`] was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -93,13 +93,21 @@ impl<T> Bounded<T> {
         self.len() == 0
     }
 
+    /// Lock the state, recovering from poison: every critical section
+    /// here keeps the queue structurally valid at each step (the only
+    /// mirror, `depth`, is advisory), so a panic elsewhere while the
+    /// lock was held must not wedge the whole server.
+    fn lock_state(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Enqueue without blocking. Fails with [`PushError::Full`] at
     /// capacity and [`PushError::Closed`] after [`close`](Self::close).
     ///
     /// # Errors
     /// Returns the item back inside the error so the caller can shed it.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.lock_state();
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -116,7 +124,7 @@ impl<T> Bounded<T> {
     /// Block until an item is available (returning it) or the queue is
     /// closed *and* drained (returning `None` — the worker-exit signal).
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.lock_state();
         loop {
             if let Some(item) = state.queue.pop_front() {
                 self.depth.store(state.queue.len(), Ordering::Relaxed);
@@ -128,14 +136,14 @@ impl<T> Bounded<T> {
             state = self
                 .not_empty
                 .wait(state)
-                .expect("queue mutex poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Close the queue: subsequent pushes fail, consumers drain what is
     /// queued and then receive `None`. Idempotent.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.lock_state();
         state.closed = true;
         drop(state);
         self.not_empty.notify_all();
@@ -144,7 +152,7 @@ impl<T> Bounded<T> {
     /// Whether [`close`](Self::close) has been called.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue mutex poisoned").closed
+        self.lock_state().closed
     }
 }
 

@@ -4,7 +4,11 @@
 //!
 //! Scope deliberately kept small:
 //!
-//! * one request per connection (`Connection: close` on every response);
+//! * **keep-alive, not pipelining**: a connection carries a sequence of
+//!   request/response exchanges (HTTP/1.1 default semantics, honoring
+//!   `Connection:` headers); bytes of a *next* request that arrive
+//!   early are carried over to the next [`read_request`] call, but
+//!   responses are always written strictly in sequence;
 //! * headers capped at [`MAX_HEADER_BYTES`], bodies at the server's
 //!   configured limit (`413` beyond it);
 //! * only `Content-Length` bodies (no chunked encoding — `411`/`400`
@@ -30,6 +34,11 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the client allows this connection to be reused:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`. The server may still close (cap
+    /// reached, shutdown) — this is the client half of the handshake.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -71,10 +80,19 @@ impl From<io::Error> for RequestError {
 /// Read and parse one request from `stream`. The caller is expected to
 /// have set the socket read timeout (that is what bounds this call).
 ///
+/// `carry` is the connection's read-ahead buffer: bytes of the *next*
+/// request that arrived in the same packets as this one are left there
+/// for the next call (and consumed from there first), which is what
+/// makes keep-alive reuse lossless. Pass a fresh `Vec` per connection.
+///
 /// # Errors
 /// See [`RequestError`].
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
-    let (head, leftover) = read_head(stream)?;
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    carry: &mut Vec<u8>,
+) -> Result<Request, RequestError> {
+    let (head, leftover) = read_head(stream, std::mem::take(carry))?;
     let head_text = String::from_utf8(head).map_err(|_| RequestError::Malformed("non-UTF-8 header"))?;
     let mut lines = head_text.split("\r\n");
     let request_line = lines.next().unwrap_or("");
@@ -109,10 +127,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
 
     // Body bytes that arrived with the header read come first; any
-    // surplus beyond Content-Length is dropped (connections are
-    // single-request, never pipelined).
+    // surplus beyond Content-Length belongs to the next request on this
+    // connection and goes back into the carry buffer.
     let mut body = leftover;
-    body.truncate(content_length);
+    if body.len() > content_length {
+        *carry = body.split_off(content_length);
+    }
     while body.len() < content_length {
         let mut buf = [0u8; 4096];
         let want = (content_length - body.len()).min(buf.len());
@@ -123,19 +143,34 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         body.extend_from_slice(&buf[..n]);
     }
 
+    let connection = headers
+        .get("connection")
+        .map(|v| v.to_ascii_lowercase())
+        .unwrap_or_default();
+    let keep_alive = if version == "HTTP/1.0" {
+        connection == "keep-alive"
+    } else {
+        connection != "close"
+    };
+
     let (path, query) = split_target(target)?;
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path,
         query,
         body,
+        keep_alive,
     })
 }
 
 /// Read until the `\r\n\r\n` header terminator; returns `(head, extra)`
 /// where `extra` is any body prefix that arrived in the same packets.
-fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), RequestError> {
-    let mut buf = Vec::with_capacity(1024);
+/// Consumes `carry` (keep-alive read-ahead) before touching the socket.
+fn read_head(
+    stream: &mut TcpStream,
+    carry: Vec<u8>,
+) -> Result<(Vec<u8>, Vec<u8>), RequestError> {
+    let mut buf = carry;
     let mut chunk = [0u8; 1024];
     loop {
         if let Some(pos) = find_terminator(&buf) {
@@ -233,7 +268,9 @@ pub mod status {
 }
 
 /// Write a full response (status, standard headers, body) and flush.
-/// Every response closes the connection (`Connection: close`).
+/// `keep_alive` selects the `Connection:` header — the caller decides
+/// per response whether the connection survives (client consent, reuse
+/// cap, shutdown all factor in on the server side).
 ///
 /// # Errors
 /// Propagates socket write errors (including write-timeout expiry).
@@ -243,6 +280,7 @@ pub fn write_response(
     content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
     let mut head = String::with_capacity(256);
     head.push_str(&format!("HTTP/1.1 {} {}\r\n", status.0, status.1));
@@ -251,9 +289,19 @@ pub fn write_response(
     for (name, value) in extra_headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
-    head.push_str("Connection: close\r\n\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    // One write per response: a second small write would sit behind
+    // Nagle waiting for the delayed ACK of the first on a kept-alive
+    // connection (~40 ms per exchange — belt to `set_nodelay`'s
+    // suspenders on the accept path).
+    let mut frame = Vec::with_capacity(head.len() + body.len());
+    frame.extend_from_slice(head.as_bytes());
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)?;
     stream.flush()
 }
 

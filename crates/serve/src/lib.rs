@@ -56,7 +56,9 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod snapshot;
+pub mod store;
 
 pub use metrics::{Histogram, Metrics};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use snapshot::{parse_driver, LeadSnapshot, SnapshotCell};
+pub use store::{GenerationStore, StoreError};

@@ -103,6 +103,11 @@ pub struct Metrics {
     /// Handler panics caught at the worker boundary (the worker
     /// survives; the connection is dropped and counted as 5xx).
     pub worker_panics_total: AtomicU64,
+    /// Requests served on a reused (kept-alive) connection.
+    pub keepalive_reuses_total: AtomicU64,
+    /// Generation-store publish/prune failures (the snapshot still
+    /// went live; only its durability is degraded).
+    pub store_failures_total: AtomicU64,
     /// Generation of the currently published snapshot.
     pub snapshot_generation: AtomicU64,
     /// End-to-end request latency (dequeue → response written).
@@ -148,6 +153,16 @@ impl Metrics {
             out,
             "etap_worker_panics_total {}",
             self.worker_panics_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_keepalive_reuses_total {}",
+            self.keepalive_reuses_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_store_failures_total {}",
+            self.store_failures_total.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "etap_queue_depth {queue_depth}");
         let _ = writeln!(out, "etap_workers {workers}");

@@ -29,11 +29,13 @@ use crate::http::{self, status, Request, RequestError, Status};
 use crate::json::JsonWriter;
 use crate::metrics::Metrics;
 use crate::snapshot::{parse_driver, LeadSnapshot, SnapshotCell};
+use crate::store::GenerationStore;
 use etap::rank::CompanyScore;
 use etap::TriggerEvent;
 use etap_runtime::pool::{Bounded, PushError, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +54,14 @@ pub struct ServeConfig {
     pub deadline_ms: u64,
     /// Maximum accepted request-body size, bytes (`413` beyond it).
     pub max_body_bytes: usize,
+    /// Maximum requests served per connection before it is closed
+    /// (`1` = no reuse, the pre-keep-alive behavior).
+    pub keepalive_requests: usize,
+    /// Generation-store directory; `Some` makes every publish durable
+    /// and the initial snapshot persisted if not already stored.
+    pub store: Option<PathBuf>,
+    /// Generations retained by the store after each publish.
+    pub store_keep: usize,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +72,9 @@ impl Default for ServeConfig {
             queue_capacity: 128,
             deadline_ms: 5_000,
             max_body_bytes: 64 * 1024,
+            keepalive_requests: 64,
+            store: None,
+            store_keep: 4,
         }
     }
 }
@@ -69,7 +82,9 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Defaults overridden by `ETAP_SERVE_ADDR`, `ETAP_SERVE_WORKERS`,
     /// `ETAP_SERVE_QUEUE`, `ETAP_SERVE_DEADLINE_MS`,
-    /// `ETAP_SERVE_MAX_BODY` (unparsable values keep the default).
+    /// `ETAP_SERVE_MAX_BODY`, `ETAP_SERVE_KEEPALIVE`,
+    /// `ETAP_SERVE_STORE`, `ETAP_SERVE_STORE_KEEP` (unparsable values
+    /// keep the default).
     #[must_use]
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
@@ -88,6 +103,13 @@ impl ServeConfig {
         cfg.queue_capacity = env_usize("ETAP_SERVE_QUEUE", cfg.queue_capacity).max(1);
         cfg.deadline_ms = env_usize("ETAP_SERVE_DEADLINE_MS", cfg.deadline_ms as usize) as u64;
         cfg.max_body_bytes = env_usize("ETAP_SERVE_MAX_BODY", cfg.max_body_bytes);
+        cfg.keepalive_requests = env_usize("ETAP_SERVE_KEEPALIVE", cfg.keepalive_requests).max(1);
+        if let Ok(v) = std::env::var("ETAP_SERVE_STORE") {
+            if !v.trim().is_empty() {
+                cfg.store = Some(PathBuf::from(v.trim()));
+            }
+        }
+        cfg.store_keep = env_usize("ETAP_SERVE_STORE_KEEP", cfg.store_keep).max(1);
         cfg
     }
 
@@ -114,6 +136,11 @@ struct Ctx {
     workers: usize,
     deadline: Duration,
     max_body: usize,
+    /// Requests-per-connection cap (1 = no keep-alive reuse).
+    keepalive_requests: usize,
+    /// Shutdown flag shared with the acceptor: once set, every response
+    /// carries `Connection: close` so drained connections don't linger.
+    stop: Arc<AtomicBool>,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -124,32 +151,58 @@ pub struct ServerHandle {
     queue: Arc<Bounded<Job>>,
     stop: Arc<AtomicBool>,
     generation: AtomicU64,
+    store: Option<GenerationStore>,
+    store_keep: usize,
     acceptor: Option<std::thread::JoinHandle<()>>,
     pool: Option<WorkerPool>,
 }
 
 /// Bind, spawn the worker pool and acceptor, and return immediately.
 ///
+/// With a configured generation store, the initial snapshot is
+/// persisted at boot (unless its generation is already on disk — the
+/// warm-start case) and every subsequent publish is persisted before
+/// retention pruning. Store failures never take the server down; they
+/// are counted in `etap_store_failures_total`.
+///
 /// # Errors
-/// Propagates bind failures.
+/// Propagates bind, thread-spawn, and store-open failures.
 pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.effective_workers();
     let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(config.queue_capacity));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let store = match &config.store {
+        Some(root) => Some(GenerationStore::open(root)?),
+        None => None,
+    };
 
     let first_generation = initial.generation;
     let ctx = Arc::new(Ctx {
-        cell: SnapshotCell::new(initial),
+        cell: SnapshotCell::new(Arc::clone(&initial)),
         metrics: Metrics::default(),
         queue_depth: Arc::clone(&queue),
         workers,
         deadline: Duration::from_millis(config.deadline_ms.max(1)),
         max_body: config.max_body_bytes,
+        keepalive_requests: config.keepalive_requests.max(1),
+        stop: Arc::clone(&stop),
     });
     ctx.metrics
         .snapshot_generation
         .store(first_generation, Ordering::Relaxed);
+
+    if let Some(store) = &store {
+        let already_stored = store
+            .generations()
+            .map(|gens| gens.contains(&first_generation))
+            .unwrap_or(false);
+        if !already_stored {
+            persist_best_effort(store, &initial, config.store_keep, &ctx.metrics);
+        }
+    }
 
     let pool = {
         let ctx = Arc::clone(&ctx);
@@ -170,15 +223,13 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
         })
     };
 
-    let stop = Arc::new(AtomicBool::new(false));
     let acceptor = {
         let queue = Arc::clone(&queue);
         let ctx = Arc::clone(&ctx);
         let stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name("etap-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &queue, &ctx, &stop))
-            .expect("spawn acceptor thread")
+            .spawn(move || accept_loop(&listener, &queue, &ctx, &stop))?
     };
 
     Ok(ServerHandle {
@@ -187,9 +238,25 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
         queue,
         stop,
         generation: AtomicU64::new(first_generation),
+        store,
+        store_keep: config.store_keep.max(1),
         acceptor: Some(acceptor),
         pool: Some(pool),
     })
+}
+
+/// Persist + prune, absorbing failures into a metric (a full disk must
+/// degrade durability, not availability).
+fn persist_best_effort(
+    store: &GenerationStore,
+    snapshot: &LeadSnapshot,
+    keep: usize,
+    metrics: &Metrics,
+) {
+    let failed = store.publish(snapshot).is_err() || store.prune(keep).is_err();
+    if failed {
+        metrics.store_failures_total.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl ServerHandle {
@@ -214,8 +281,15 @@ impl ServerHandle {
 
     /// Publish a fully formed snapshot (the caller owns the generation
     /// number; it should exceed the current one). Returns its generation.
+    ///
+    /// With a configured store the snapshot is persisted (and old
+    /// generations pruned) *before* it goes live, so a crash right
+    /// after the swap can still warm-start from this generation.
     pub fn publish_snapshot(&self, snapshot: Arc<LeadSnapshot>) -> u64 {
         let generation = snapshot.generation;
+        if let Some(store) = &self.store {
+            persist_best_effort(store, &snapshot, self.store_keep, &self.ctx.metrics);
+        }
         self.generation.store(generation, Ordering::SeqCst);
         self.ctx.cell.publish(snapshot);
         self.ctx
@@ -223,6 +297,12 @@ impl ServerHandle {
             .snapshot_generation
             .store(generation, Ordering::Relaxed);
         generation
+    }
+
+    /// The generation store backing this server, when configured.
+    #[must_use]
+    pub fn store(&self) -> Option<&GenerationStore> {
+        self.store.as_ref()
     }
 
     /// The currently published snapshot.
@@ -273,6 +353,10 @@ fn accept_loop(
         if stop.load(Ordering::SeqCst) {
             return; // the wake-up connection (or late arrivals) drop here
         }
+        // Nagle would stall response n+1 on a kept-alive connection
+        // behind the delayed ACK of response n; request/response
+        // exchanges want immediate flushes.
+        let _ = stream.set_nodelay(true);
         let job = Job {
             stream,
             accepted: Instant::now(),
@@ -293,6 +377,7 @@ fn accept_loop(
                     "text/plain; charset=utf-8",
                     &[("Retry-After", "1")],
                     b"queue full, retry\n",
+                    false,
                 );
                 // One short best-effort read to consume the request
                 // bytes that typically arrived with the connection:
@@ -317,11 +402,43 @@ fn handle_job(ctx: &Ctx, job: Job) {
         mut stream,
         accepted,
     } = job;
-    let deadline = accepted + ctx.deadline;
+    // The keep-alive loop: each iteration serves one request/response
+    // exchange with its own full deadline. The first request's clock
+    // started at accept (queue wait counts against it); reused requests
+    // start their clock here.
+    let mut carry = Vec::new();
+    for served in 0..ctx.keepalive_requests {
+        let started = if served == 0 { accepted } else { Instant::now() };
+        let last_allowed = served + 1 == ctx.keepalive_requests;
+        match serve_one(ctx, &mut stream, started, &mut carry, last_allowed, served > 0) {
+            ConnAction::KeepAlive => {}
+            ConnAction::Close => return,
+        }
+    }
+}
+
+/// What to do with the connection after one exchange.
+enum ConnAction {
+    KeepAlive,
+    Close,
+}
+
+/// Serve one request/response exchange on an established connection.
+/// `reused` marks exchanges after the first (an idle peer that sends
+/// nothing before the deadline is then a normal close, not a `408`).
+fn serve_one(
+    ctx: &Ctx,
+    stream: &mut TcpStream,
+    started: Instant,
+    carry: &mut Vec<u8>,
+    last_allowed: bool,
+    reused: bool,
+) -> ConnAction {
+    let deadline = started + ctx.deadline;
 
     let finish = |code: u16| {
         ctx.metrics
-            .record_response(code, accepted.elapsed().as_micros() as u64);
+            .record_response(code, started.elapsed().as_micros() as u64);
     };
 
     // Expired while queued → shed without reading a byte. A budget too
@@ -333,14 +450,15 @@ fn handle_job(ctx: &Ctx, job: Job) {
         ctx.metrics.deadline_total.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
         let _ = http::write_response(
-            &mut stream,
+            stream,
             status::SERVICE_UNAVAILABLE,
             "text/plain; charset=utf-8",
             &[("Retry-After", "1")],
             b"deadline exceeded in queue\n",
+            false,
         );
         finish(503);
-        return;
+        return ConnAction::Close;
     }
 
     // The remaining budget bounds both socket directions.
@@ -348,14 +466,41 @@ fn handle_job(ctx: &Ctx, job: Job) {
     let _ = stream.set_read_timeout(Some(remaining));
     let _ = stream.set_write_timeout(Some(remaining.max(Duration::from_millis(100))));
 
-    let request = match http::read_request(&mut stream, ctx.max_body) {
-        Ok(req) => req,
+    // Reused exchanges never passed the acceptor, so they are counted
+    // here — but only once the peer actually sent something. An idle
+    // kept-alive connection that times out or closes without a next
+    // request is not a request and must not skew `etap_requests_total`
+    // (the documented reconciliation: requests + shed = Σ responses +
+    // in-flight).
+    let count_reused = || {
+        if reused {
+            ctx.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics
+                .keepalive_reuses_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    let request = match http::read_request(stream, ctx.max_body, carry) {
+        Ok(req) => {
+            count_reused();
+            req
+        }
         Err(err) => {
             let (st, body): (Status, String) = match err {
+                RequestError::TimedOut if reused => {
+                    // An idle kept-alive connection that never started
+                    // its next request: close quietly — there is no
+                    // request to answer or account for.
+                    return ConnAction::Close;
+                }
+                RequestError::Closed if reused => return ConnAction::Close,
                 RequestError::Malformed(msg) => {
+                    count_reused();
                     (status::BAD_REQUEST, format!("malformed request: {msg}\n"))
                 }
                 RequestError::BodyTooLarge => {
+                    count_reused();
                     (status::PAYLOAD_TOO_LARGE, "body too large\n".to_string())
                 }
                 RequestError::TimedOut => {
@@ -363,34 +508,48 @@ fn handle_job(ctx: &Ctx, job: Job) {
                     (status::REQUEST_TIMEOUT, "deadline exceeded\n".to_string())
                 }
                 RequestError::Closed | RequestError::Io(_) => {
+                    count_reused();
                     finish(499); // nginx-style "client closed"; class 4xx
-                    return;
+                    return ConnAction::Close;
                 }
             };
             let _ = http::write_response(
-                &mut stream,
+                stream,
                 st,
                 "text/plain; charset=utf-8",
                 &[],
                 body.as_bytes(),
+                false,
             );
             // Drain whatever request bytes are still in flight before
             // closing: closing with unread data pending makes the
             // kernel send RST, which can destroy the response before
             // the client reads it (observable on oversized bodies).
-            drain_request(&mut stream);
+            drain_request(stream);
             finish(st.0);
-            return;
+            return ConnAction::Close;
         }
     };
+
+    // The connection survives only when every party agrees: the client
+    // asked for keep-alive, the per-connection cap has room, and the
+    // server is not draining for shutdown.
+    let keep_alive =
+        request.keep_alive && !last_allowed && !ctx.stop.load(Ordering::SeqCst);
 
     let (st, content_type, headers, body) = route(ctx, &request);
     let header_refs: Vec<(&str, &str)> = headers
         .iter()
         .map(|(k, v)| (k.as_str(), v.as_str()))
         .collect();
-    let _ = http::write_response(&mut stream, st, content_type, &header_refs, &body);
+    let write_ok =
+        http::write_response(stream, st, content_type, &header_refs, &body, keep_alive).is_ok();
     finish(st.0);
+    if keep_alive && write_ok {
+        ConnAction::KeepAlive
+    } else {
+        ConnAction::Close
+    }
 }
 
 /// Discard pending request bytes (bounded in size and time) so the

@@ -18,7 +18,7 @@
 use etap::{LeadBook, SalesDriver, TrainedEtap};
 use etap_corpus::SyntheticDoc;
 use std::str::FromStr;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One immutable generation of servable state.
 #[derive(Debug)]
@@ -61,6 +61,29 @@ impl LeadSnapshot {
             generation,
             book,
             trained,
+        }
+    }
+
+    /// Incremental generation: extend `prev` with the events identified
+    /// in `new_docs` only (no re-scan of the documents behind `prev`),
+    /// reusing its trained models. Because the ranking comparator is a
+    /// total order, re-ranking the merged event list is
+    /// permutation-invariant — the resulting book is **bit-identical**
+    /// to a full rebuild over `old_docs ++ new_docs`, for any `threads`
+    /// value (`0` = the `ETAP_THREADS` default).
+    #[must_use]
+    pub fn extend(
+        prev: &LeadSnapshot,
+        new_docs: &[SyntheticDoc],
+        generation: u64,
+        threads: usize,
+    ) -> Self {
+        let mut events = prev.book.events().to_vec();
+        events.extend(prev.trained.identify_events_parallel(new_docs, threads));
+        Self {
+            generation,
+            book: LeadBook::build(events),
+            trained: Arc::clone(&prev.trained),
         }
     }
 
@@ -115,7 +138,11 @@ impl SnapshotCell {
     /// mixed-generation guard).
     #[must_use]
     pub fn load(&self) -> Arc<LeadSnapshot> {
-        Arc::clone(&self.current.lock().expect("snapshot mutex poisoned"))
+        // The critical section is a pointer clone/swap — it cannot leave
+        // the Arc torn — so a poisoned lock (a panic elsewhere while the
+        // lock was held) is recovered, not propagated: one crashed
+        // worker must not take every subsequent request down with it.
+        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Atomically replace the published snapshot, returning the
@@ -123,7 +150,10 @@ impl SnapshotCell {
     /// the old `Arc` until they finish; its memory is freed when the
     /// last one drops it.
     pub fn publish(&self, next: Arc<LeadSnapshot>) -> u64 {
-        let mut slot = self.current.lock().expect("snapshot mutex poisoned");
+        let mut slot = self
+            .current
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let old = slot.generation;
         *slot = next;
         old

@@ -1,0 +1,493 @@
+//! The durable generation store: every published [`LeadSnapshot`]
+//! persisted as an on-disk *generation*, so a restarted server
+//! warm-starts from the newest valid one instead of re-crawling.
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/
+//!   gen-3/
+//!     MANIFEST            ETAP GEN-MANIFEST v1 (written last)
+//!     events.leads        ETAP LEADS v1 — the ranked event book
+//!     model-000-<id>.model  ETAP MODEL v2 — one per trained driver,
+//!     model-001-<id>.model  numbered to preserve driver order
+//!   gen-4/
+//!     …
+//! ```
+//!
+//! ## Crash safety
+//!
+//! A generation is *visible* exactly when its directory name has no
+//! `.tmp` suffix, and *valid* exactly when its `MANIFEST` checks out.
+//! The publish protocol makes both transitions atomic:
+//!
+//! 1. write every payload file into `gen-<n>.tmp/`, fsync each;
+//! 2. write `MANIFEST` (listing every file with size + FNV-1a 64
+//!    checksum) last, fsync it;
+//! 3. `rename` the directory to `gen-<n>`; fsync the store root.
+//!
+//! A crash before (3) leaves a `.tmp` directory that readers ignore
+//! (and the next publish sweeps); a torn file inside a visible
+//! generation fails its manifest or codec checksum and the loader
+//! [falls back](GenerationStore::load_latest) to the newest generation
+//! that *does* validate. No partial state is ever served.
+
+use crate::snapshot::LeadSnapshot;
+use etap::{LeadBook, TrainedEtap};
+use etap_persist::{CodecError, Writer};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Codec kind of generation manifests.
+pub const MANIFEST_KIND: &str = "GEN-MANIFEST";
+/// Highest `GEN-MANIFEST` version this build reads/writes.
+pub const MANIFEST_VERSION: u32 = 1;
+/// The ranked-event file inside each generation.
+pub const EVENTS_FILE: &str = "events.leads";
+
+/// Why a stored generation could not be loaded.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A file failed codec validation (checksum, version, grammar).
+    Codec(CodecError),
+    /// The manifest's own invariants failed (missing/duplicated file
+    /// entry, size or checksum mismatch, generation number mismatch).
+    Invalid(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::Codec(e) => write!(f, "codec: {e}"),
+            Self::Invalid(msg) => write!(f, "invalid generation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        Self::Codec(e)
+    }
+}
+
+/// A directory of persisted snapshot generations.
+#[derive(Debug)]
+pub struct GenerationStore {
+    root: PathBuf,
+}
+
+impl GenerationStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn gen_dir(&self, generation: u64) -> PathBuf {
+        self.root.join(format!("gen-{generation}"))
+    }
+
+    /// Persist one snapshot as generation `snapshot.generation`,
+    /// following the crash-safety protocol (tmp dir → fsync'd files →
+    /// manifest last → rename → root fsync). Republishing an existing
+    /// generation number replaces it atomically.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; the store is left without a
+    /// partially visible generation in every failure case.
+    pub fn publish(&self, snapshot: &LeadSnapshot) -> io::Result<PathBuf> {
+        let generation = snapshot.generation;
+        let final_dir = self.gen_dir(generation);
+        let tmp_dir = self.root.join(format!("gen-{generation}.tmp"));
+        if tmp_dir.exists() {
+            std::fs::remove_dir_all(&tmp_dir)?;
+        }
+        std::fs::create_dir_all(&tmp_dir)?;
+
+        let mut manifest = Writer::new(MANIFEST_KIND, MANIFEST_VERSION);
+        manifest.record(["generation", &generation.to_string()]);
+        manifest.record(["window", &snapshot.trained.snippet_window().to_string()]);
+        manifest.record(["events", &snapshot.book.events().len().to_string()]);
+
+        let mut write_payload = |name: &str, contents: &str| -> io::Result<()> {
+            write_synced(&tmp_dir.join(name), contents)?;
+            manifest.record([
+                "file",
+                name,
+                &format!("{:016x}", etap_persist::fnv1a64(contents.as_bytes())),
+                &contents.len().to_string(),
+            ]);
+            Ok(())
+        };
+
+        write_payload(EVENTS_FILE, &etap::persist::book_to_string(&snapshot.book))?;
+        for (i, driver) in snapshot.trained.drivers.iter().enumerate() {
+            let name = format!("model-{i:03}-{}.model", driver.spec.driver.id());
+            write_payload(&name, &etap::persist::to_string(driver))?;
+        }
+
+        write_synced(&tmp_dir.join("MANIFEST"), &manifest.finish())?;
+        if final_dir.exists() {
+            std::fs::remove_dir_all(&final_dir)?;
+        }
+        std::fs::rename(&tmp_dir, &final_dir)?;
+        etap_persist::sync_dir(&self.root);
+        Ok(final_dir)
+    }
+
+    /// Generation numbers currently visible (sorted ascending).
+    /// In-flight `.tmp` directories are excluded by construction.
+    ///
+    /// # Errors
+    /// Propagates directory-read failures.
+    pub fn generations(&self) -> io::Result<Vec<u64>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(n) = name.to_str().and_then(|s| s.strip_prefix("gen-")) else {
+                continue;
+            };
+            if let Ok(g) = n.parse::<u64>() {
+                out.push(g);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Load and fully validate one generation: the manifest must parse,
+    /// list each file exactly once with matching size and checksum, and
+    /// every payload file must itself decode.
+    ///
+    /// # Errors
+    /// See [`StoreError`]; any failure means this generation is not
+    /// servable (callers typically fall back to an older one).
+    pub fn load(&self, generation: u64) -> Result<LeadSnapshot, StoreError> {
+        let dir = self.gen_dir(generation);
+        let (_, records) = etap_persist::read_file(
+            &dir.join("MANIFEST"),
+            MANIFEST_KIND,
+            MANIFEST_VERSION,
+        )?;
+
+        let mut stated_generation: Option<u64> = None;
+        let mut window: Option<usize> = None;
+        let mut event_count: Option<usize> = None;
+        let mut files: Vec<String> = Vec::new();
+        for rec in &records {
+            match rec.tag() {
+                "generation" => stated_generation = Some(rec.parse(1)?),
+                "window" => window = Some(rec.parse(1)?),
+                "events" => event_count = Some(rec.parse(1)?),
+                "file" => {
+                    let name = rec.str(1)?.to_string();
+                    if files.contains(&name) {
+                        return Err(StoreError::Invalid(format!(
+                            "manifest lists {name:?} twice"
+                        )));
+                    }
+                    let checksum = u64::from_str_radix(rec.str(2)?, 16)
+                        .map_err(|_| rec.malformed("bad checksum field"))?;
+                    let size: usize = rec.parse(3)?;
+                    let bytes = std::fs::read(dir.join(&name))?;
+                    if bytes.len() != size {
+                        return Err(StoreError::Invalid(format!(
+                            "{name}: manifest says {size} bytes, file has {}",
+                            bytes.len()
+                        )));
+                    }
+                    let computed = etap_persist::fnv1a64(&bytes);
+                    if computed != checksum {
+                        return Err(StoreError::Invalid(format!(
+                            "{name}: checksum mismatch ({checksum:016x} vs {computed:016x})"
+                        )));
+                    }
+                    files.push(name);
+                }
+                other => {
+                    return Err(StoreError::Invalid(format!(
+                        "unknown manifest record `{other}`"
+                    )))
+                }
+            }
+        }
+        let missing = |what: &str| StoreError::Invalid(format!("manifest missing {what} record"));
+        let stated_generation = stated_generation.ok_or_else(|| missing("generation"))?;
+        if stated_generation != generation {
+            return Err(StoreError::Invalid(format!(
+                "directory gen-{generation} holds manifest for generation {stated_generation}"
+            )));
+        }
+        let window = window.ok_or_else(|| missing("window"))?;
+        let event_count = event_count.ok_or_else(|| missing("events"))?;
+        if !files.iter().any(|f| f == EVENTS_FILE) {
+            return Err(missing("events.leads file"));
+        }
+
+        // Payload files load in manifest order, which preserves the
+        // driver order the snapshot was published with.
+        let mut book: Option<LeadBook> = None;
+        let mut drivers = Vec::new();
+        for name in &files {
+            let path = dir.join(name);
+            if name == EVENTS_FILE {
+                let text = std::fs::read_to_string(&path)?;
+                book = Some(etap::persist::book_from_str(&text)?);
+            } else if name.ends_with(".model") {
+                drivers.push(etap::persist::load(&path).map_err(CodecError::Io)?);
+            } else {
+                return Err(StoreError::Invalid(format!(
+                    "manifest lists unrecognized file {name:?}"
+                )));
+            }
+        }
+        let book = book.ok_or_else(|| missing("events.leads file"))?;
+        if book.events().len() != event_count {
+            return Err(StoreError::Invalid(format!(
+                "manifest says {event_count} events, book has {}",
+                book.events().len()
+            )));
+        }
+
+        Ok(LeadSnapshot {
+            generation,
+            book,
+            trained: Arc::new(TrainedEtap::from_drivers(drivers, window)),
+        })
+    }
+
+    /// Warm-start entry point: load the newest generation that fully
+    /// validates, skipping invalid ones. Returns the snapshot plus a
+    /// `(generation, reason)` list of everything skipped (for logs and
+    /// metrics), or `None` when no valid generation exists.
+    ///
+    /// # Errors
+    /// Propagates only root-directory read failures; per-generation
+    /// failures are *reported*, not raised.
+    pub fn load_latest(
+        &self,
+    ) -> io::Result<Option<(LeadSnapshot, Vec<(u64, String)>)>> {
+        let mut skipped = Vec::new();
+        for generation in self.generations()?.into_iter().rev() {
+            match self.load(generation) {
+                Ok(snapshot) => return Ok(Some((snapshot, skipped))),
+                Err(err) => skipped.push((generation, err.to_string())),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Retention: delete the oldest generations beyond the `keep`
+    /// newest (by generation number), plus any stale `.tmp` directories
+    /// from interrupted publishes. Returns the deleted generation
+    /// numbers. `keep == 0` is treated as 1 — the store never deletes
+    /// its only warm-start source.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn prune(&self, keep: usize) -> io::Result<Vec<u64>> {
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if name.to_str().is_some_and(|s| s.starts_with("gen-") && s.ends_with(".tmp")) {
+                let _ = std::fs::remove_dir_all(entry.path());
+            }
+        }
+        let keep = keep.max(1);
+        let generations = self.generations()?;
+        let mut removed = Vec::new();
+        if generations.len() > keep {
+            for &generation in &generations[..generations.len() - keep] {
+                std::fs::remove_dir_all(self.gen_dir(generation))?;
+                removed.push(generation);
+            }
+            etap_persist::sync_dir(&self.root);
+        }
+        Ok(removed)
+    }
+}
+
+/// Write + fsync one file (no rename dance needed: the whole directory
+/// is renamed into visibility afterwards).
+fn write_synced(path: &Path, contents: &str) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etap::{LeadBook, SalesDriver, TriggerEvent};
+
+    fn temp_store(tag: &str) -> GenerationStore {
+        let root = std::env::temp_dir().join(format!(
+            "etap_store_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        GenerationStore::open(root).expect("open store")
+    }
+
+    fn snapshot(generation: u64, n_events: usize) -> LeadSnapshot {
+        let events: Vec<TriggerEvent> = (0..n_events)
+            .map(|i| TriggerEvent {
+                driver: SalesDriver::RevenueGrowth,
+                doc_id: i,
+                url: format!("http://example/{i}"),
+                snippet: format!("snippet {i} of gen {generation}"),
+                score: 0.5 + (i as f64) / (2.0 * n_events.max(1) as f64),
+                companies: vec![format!("Company {i}")],
+                doc_date: (2005, 3, 1),
+            })
+            .collect();
+        LeadSnapshot {
+            generation,
+            book: LeadBook::build(events),
+            trained: Arc::new(TrainedEtap::from_drivers(Vec::new(), 3)),
+        }
+    }
+
+    #[test]
+    fn publish_load_roundtrip() {
+        let store = temp_store("roundtrip");
+        store.publish(&snapshot(1, 5)).expect("publish");
+        let loaded = store.load(1).expect("load");
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.book, snapshot(1, 5).book);
+        assert_eq!(loaded.trained.snippet_window(), 3);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn load_latest_skips_corrupt_generations() {
+        let store = temp_store("fallback");
+        store.publish(&snapshot(1, 3)).expect("publish 1");
+        store.publish(&snapshot(2, 4)).expect("publish 2");
+        store.publish(&snapshot(3, 5)).expect("publish 3");
+        // Corrupt generation 3's event file (flip a byte, keep length).
+        let victim = store.root().join("gen-3").join(EVENTS_FILE);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&victim, bytes).unwrap();
+
+        let (loaded, skipped) = store.load_latest().expect("scan").expect("some valid");
+        assert_eq!(loaded.generation, 2);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].0, 3);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn truncated_manifest_invalidates_generation() {
+        let store = temp_store("truncman");
+        store.publish(&snapshot(1, 3)).expect("publish");
+        let manifest = store.root().join("gen-1").join("MANIFEST");
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        std::fs::write(&manifest, &text[..text.len() / 2]).unwrap();
+        assert!(store.load(1).is_err());
+        assert!(store.load_latest().expect("scan").is_none());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn duplicate_manifest_entry_invalidates_generation() {
+        let store = temp_store("dupentry");
+        store.publish(&snapshot(1, 2)).expect("publish");
+        let dir = store.root().join("gen-1");
+        let events_path = dir.join(EVENTS_FILE);
+        let contents = std::fs::read_to_string(&events_path).unwrap();
+        let mut manifest = Writer::new(MANIFEST_KIND, MANIFEST_VERSION);
+        manifest.record(["generation", "1"]);
+        manifest.record(["window", "3"]);
+        manifest.record(["events", "2"]);
+        let sum = format!("{:016x}", etap_persist::fnv1a64(contents.as_bytes()));
+        let size = contents.len().to_string();
+        manifest.record(["file", EVENTS_FILE, &sum, &size]);
+        manifest.record(["file", EVENTS_FILE, &sum, &size]);
+        std::fs::write(dir.join("MANIFEST"), manifest.finish()).unwrap();
+        match store.load(1) {
+            Err(StoreError::Invalid(msg)) => assert!(msg.contains("twice"), "{msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn future_manifest_version_is_skipped_not_fatal() {
+        let store = temp_store("future");
+        store.publish(&snapshot(1, 2)).expect("publish 1");
+        store.publish(&snapshot(2, 2)).expect("publish 2");
+        // Rewrite gen-2's manifest with a future version header.
+        let manifest = store.root().join("gen-2").join("MANIFEST");
+        let w = Writer::new(MANIFEST_KIND, MANIFEST_VERSION + 1);
+        std::fs::write(&manifest, w.finish()).unwrap();
+        let (loaded, skipped) = store.load_latest().expect("scan").expect("some valid");
+        assert_eq!(loaded.generation, 1);
+        assert!(skipped[0].1.contains("newer"), "{}", skipped[0].1);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn prune_keeps_newest_and_sweeps_tmp() {
+        let store = temp_store("prune");
+        for g in 1..=5 {
+            store.publish(&snapshot(g, 2)).expect("publish");
+        }
+        std::fs::create_dir_all(store.root().join("gen-9.tmp")).unwrap();
+        let removed = store.prune(2).expect("prune");
+        assert_eq!(removed, vec![1, 2, 3]);
+        assert_eq!(store.generations().unwrap(), vec![4, 5]);
+        assert!(!store.root().join("gen-9.tmp").exists());
+        // keep == 0 never deletes the last generation.
+        let removed = store.prune(0).expect("prune 0");
+        assert_eq!(removed, vec![4]);
+        assert_eq!(store.generations().unwrap(), vec![5]);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn interrupted_publish_is_invisible() {
+        let store = temp_store("interrupted");
+        store.publish(&snapshot(1, 2)).expect("publish 1");
+        // Simulate a crash mid-publish: a .tmp dir with payload but no
+        // completed rename.
+        let tmp = store.root().join("gen-2.tmp");
+        std::fs::create_dir_all(&tmp).unwrap();
+        std::fs::write(tmp.join(EVENTS_FILE), "partial").unwrap();
+        assert_eq!(store.generations().unwrap(), vec![1]);
+        let (loaded, skipped) = store.load_latest().expect("scan").expect("valid");
+        assert_eq!(loaded.generation, 1);
+        assert!(skipped.is_empty());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -6,7 +6,12 @@
 # 3. fails if the N-thread pipeline is *slower* than the 1-thread run;
 # 4. boots `etap-cli serve` on an ephemeral port, curls /healthz and
 #    /leads, then load-tests with bench_serve (writes BENCH_serve.json)
-#    and fails if any request was shed at nominal load.
+#    and fails if any request was shed at nominal load;
+# 5. persistence crash-recovery: publishes two generations into a
+#    store, serves them warm, kill -9s the server, restarts it from
+#    disk, and fails unless /leads is byte-identical across the crash
+#    and the generation counter continues monotonically; also runs
+#    bench_persist (writes BENCH_persist.json).
 #
 # On a single-core host the parallel path cannot be faster — the gate
 # then only requires that the fan-out overhead stays small (speedup
@@ -42,10 +47,11 @@ echo
 echo "== serve smoke: etap-cli serve + curl + bench_serve =="
 smoke_models=$(mktemp -d)
 smoke_log=$(mktemp)
+store_dir=$(mktemp -d)
 server_pid=""
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
-    rm -rf "$smoke_models" "$smoke_log"
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$smoke_models" "$smoke_log" "$store_dir"
 }
 trap cleanup EXIT
 
@@ -84,6 +90,62 @@ if [ "$shed_ok" -ne 1 ]; then
     echo "FAIL: server shed requests at nominal load (shed_rate ${shed_rate})" >&2
     exit 1
 fi
+
+echo
+echo "== persistence: publish ×2, kill -9, warm restart, byte parity =="
+cargo run -q --release --bin etap-cli -- \
+    publish --store "$store_dir" --models "$smoke_models" --docs 120 >/dev/null
+cargo run -q --release --bin etap-cli -- \
+    publish --store "$store_dir" --extend --docs 60 --seed 11 >/dev/null
+echo "published generations: $(ls "$store_dir" | tr '\n' ' ')"
+
+# boot_store <logfile>: warm-start a server from the store; sets the
+# globals $server_pid and $base (no subshell — both must survive).
+boot_store() {
+    : >"$1"
+    cargo run -q --release --bin etap-cli -- \
+        serve --store "$store_dir" --addr 127.0.0.1:0 >"$1" 2>/dev/null &
+    server_pid=$!
+    base=""
+    for _ in $(seq 1 50); do
+        base=$(sed -n 's/^listening on \(http:\/\/[0-9.:]*\)$/\1/p' "$1")
+        [ -n "$base" ] && break
+        kill -0 "$server_pid" 2>/dev/null \
+            || { echo "FAIL: warm serve exited early" >&2; exit 1; }
+        sleep 0.2
+    done
+    [ -n "$base" ] || { echo "FAIL: warm serve never printed its address" >&2; exit 1; }
+}
+
+boot_store "$smoke_log"
+leads_before=$(curl -fsS "$base/leads?top=100")
+gen_before=$(curl -fsS "$base/healthz" | sed -n 's/.*"generation": \([0-9]*\).*/\1/p')
+[ "$gen_before" = "2" ] \
+    || { echo "FAIL: warm start served generation ${gen_before}, expected 2" >&2; exit 1; }
+
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+boot_store "$smoke_log"
+leads_after=$(curl -fsS "$base/leads?top=100")
+if [ "$leads_before" != "$leads_after" ]; then
+    echo "FAIL: /leads differs across kill -9 + warm restart" >&2
+    exit 1
+fi
+echo "crash recovery: /leads byte-identical across kill -9 (generation ${gen_before})"
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+# The generation counter continues past the crash: the next publish is 3.
+cargo run -q --release --bin etap-cli -- \
+    publish --store "$store_dir" --extend --docs 40 --seed 13 \
+    | grep -q "published generation 3" \
+    || { echo "FAIL: generation counter did not continue monotonically" >&2; exit 1; }
+echo "generation counter monotonic across restart (next publish was 3)"
+
+cargo run -q --release -p etap-bench --bin bench_persist
 
 echo
 echo "OK: verify passed (speedup ${speedup}x on ${cores} core(s), shed_rate ${shed_rate})"

@@ -6,13 +6,25 @@
 //! etap-cli score --model models/<file>.model --text "IBM acquired Daksh..."
 //! etap-cli companies --models models/ [--docs 300] [--seed 7] [--top 10]
 //! etap-cli eval  --models models/ [--docs 600] [--seed 7]
-//! etap-cli serve --models models/ [--addr 127.0.0.1:8787] [--docs 300] [--seed 7]
+//! etap-cli serve --models models/ [--store leads/] [--addr 127.0.0.1:8787]
+//! etap-cli publish --models models/ --store leads/ [--docs 300] [--seed 7] [--extend]
+//! etap-cli generations --store leads/
+//! etap-cli diff --store leads/ [--from N] [--to M]
 //! ```
 //!
 //! `train` persists one `.model` file per sales driver (text format, see
 //! `etap::persist`); `scan`/`companies` generate a fresh synthetic crawl
 //! and run the trained models over it; `serve` freezes a crawl into a
 //! lead snapshot and serves it over HTTP (see `etap-serve`).
+//!
+//! The persistence subcommands work a durable generation store (see
+//! `etap_serve::GenerationStore`): `publish` writes a new generation
+//! (full rebuild, or `--extend` to merge a document delta into the
+//! newest stored generation), `generations` lists what is on disk with
+//! validity, and `diff` summarizes what changed between two
+//! generations. `serve --store` warm-starts from the newest valid
+//! generation — no crawl, no retrain — and persists every later
+//! publish.
 
 use etap_repro::system::{persist, rank, AliasResolver, EventIdentifier, TrainedDriver};
 use etap_repro::{DriverSpec, Etap, EtapConfig, SalesDriver, SyntheticWeb, WebConfig};
@@ -33,6 +45,9 @@ fn main() -> ExitCode {
         "companies" => cmd_companies(&opts),
         "eval" => cmd_eval(&opts),
         "serve" => cmd_serve(&opts),
+        "publish" => cmd_publish(&opts),
+        "generations" => cmd_generations(&opts),
+        "diff" => cmd_diff(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -57,10 +72,17 @@ USAGE:
   etap-cli score --model <file> --text <snippet>
   etap-cli companies --models <dir> [--docs N] [--seed N] [--top K]
   etap-cli eval --models <dir> [--docs N] [--seed N]
-  etap-cli serve --models <dir> [--addr HOST:PORT] [--docs N] [--seed N] [--window N]
+  etap-cli serve (--store <dir> | --models <dir>) [--addr HOST:PORT] [--docs N]
+                 [--seed N] [--window N]
+  etap-cli publish --store <dir> [--models <dir>] [--docs N] [--seed N]
+                   [--window N] [--extend] [--keep N]
+  etap-cli generations --store <dir>
+  etap-cli diff --store <dir> [--from GEN] [--to GEN]
 
 serve env overrides: ETAP_SERVE_ADDR, ETAP_SERVE_WORKERS, ETAP_SERVE_QUEUE,
-ETAP_SERVE_DEADLINE_MS, ETAP_SERVE_MAX_BODY (see README \"Serving\")";
+ETAP_SERVE_DEADLINE_MS, ETAP_SERVE_MAX_BODY, ETAP_SERVE_KEEPALIVE,
+ETAP_SERVE_STORE, ETAP_SERVE_STORE_KEEP (see README \"Serving\" and
+\"Persistence\")";
 
 /// Minimal `--flag value` / `--flag` parser.
 struct Opts {
@@ -242,28 +264,63 @@ fn cmd_companies(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
-    use etap_repro::serve::{LeadSnapshot, ServeConfig};
+    use etap_repro::serve::{GenerationStore, LeadSnapshot, ServeConfig};
     use std::sync::Arc;
-
-    let models = load_models(Path::new(
-        opts.get("models").ok_or("--models <dir> required")?,
-    ))?;
-    let window = opts.usize_or("window", 3);
-    let trained = Arc::new(etap_repro::TrainedEtap::from_drivers(models, window));
-
-    let crawl = fresh_crawl(opts);
-    eprintln!("building lead snapshot (generation 1)…");
-    let snapshot = Arc::new(LeadSnapshot::build(trained, crawl.docs(), 1));
-    eprintln!(
-        "snapshot ready: {} events, {} companies",
-        snapshot.book.len(),
-        snapshot.book.companies().len()
-    );
 
     let mut config = ServeConfig::from_env();
     if let Some(addr) = opts.get("addr") {
         config.addr = addr.to_string();
     }
+    if let Some(store_dir) = opts.get("store") {
+        config.store = Some(PathBuf::from(store_dir));
+    }
+
+    // Warm start: with a store holding at least one valid generation,
+    // serve that — no crawl, no model directory needed.
+    let snapshot = match &config.store {
+        Some(root) => {
+            let store = GenerationStore::open(root).map_err(|e| e.to_string())?;
+            match store.load_latest().map_err(|e| e.to_string())? {
+                Some((snapshot, skipped)) => {
+                    for (generation, reason) in &skipped {
+                        eprintln!("skipping invalid generation {generation}: {reason}");
+                    }
+                    eprintln!(
+                        "warm start from generation {} ({} events, {} companies)",
+                        snapshot.generation,
+                        snapshot.book.len(),
+                        snapshot.book.companies().len()
+                    );
+                    Some(Arc::new(snapshot))
+                }
+                None => None,
+            }
+        }
+        None => None,
+    };
+
+    let snapshot = match snapshot {
+        Some(s) => s,
+        None => {
+            // Cold start: build generation 1 from trained models + a
+            // fresh crawl (persisted by the server when a store is set).
+            let models = load_models(Path::new(opts.get("models").ok_or(
+                "--models <dir> required (store is empty or not configured)",
+            )?))?;
+            let window = opts.usize_or("window", 3);
+            let trained = Arc::new(etap_repro::TrainedEtap::from_drivers(models, window));
+            let crawl = fresh_crawl(opts);
+            eprintln!("building lead snapshot (generation 1)…");
+            let snapshot = Arc::new(LeadSnapshot::build(trained, crawl.docs(), 1));
+            eprintln!(
+                "snapshot ready: {} events, {} companies",
+                snapshot.book.len(),
+                snapshot.book.companies().len()
+            );
+            snapshot
+        }
+    };
+
     let server = etap_repro::serve::start(&config, snapshot).map_err(|e| e.to_string())?;
     // Machine-parsable on stdout: scripts extract the port from here.
     println!("listening on http://{}", server.addr());
@@ -274,6 +331,138 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+fn open_store(opts: &Opts) -> Result<etap_repro::serve::GenerationStore, String> {
+    let root = opts.get("store").ok_or("--store <dir> required")?;
+    etap_repro::serve::GenerationStore::open(root).map_err(|e| e.to_string())
+}
+
+fn cmd_publish(opts: &Opts) -> Result<(), String> {
+    use etap_repro::serve::LeadSnapshot;
+    use std::sync::Arc;
+
+    let store = open_store(opts)?;
+    let keep = opts.usize_or("keep", 4);
+    let newest_valid = store
+        .load_latest()
+        .map_err(|e| e.to_string())?
+        .map(|(snapshot, _)| snapshot);
+    let next_generation = store
+        .generations()
+        .map_err(|e| e.to_string())?
+        .last()
+        .copied()
+        .unwrap_or(0)
+        + 1;
+
+    let snapshot = if opts.has("extend") {
+        // Incremental: identify events only for the fresh documents and
+        // merge them into the newest stored generation (bit-identical
+        // to a full rebuild over the union — see DESIGN.md §9).
+        let prev =
+            newest_valid.ok_or("--extend needs an existing valid generation in the store")?;
+        let crawl = fresh_crawl(opts);
+        eprintln!(
+            "extending generation {} with {} fresh documents…",
+            prev.generation,
+            crawl.docs().len()
+        );
+        LeadSnapshot::extend(&prev, crawl.docs(), next_generation, 0)
+    } else {
+        let models = load_models(Path::new(
+            opts.get("models").ok_or("--models <dir> required")?,
+        ))?;
+        let window = opts.usize_or("window", 3);
+        let trained = Arc::new(etap_repro::TrainedEtap::from_drivers(models, window));
+        let crawl = fresh_crawl(opts);
+        LeadSnapshot::build(trained, crawl.docs(), next_generation)
+    };
+
+    let dir = store.publish(&snapshot).map_err(|e| e.to_string())?;
+    let removed = store.prune(keep).map_err(|e| e.to_string())?;
+    println!(
+        "published generation {} ({} events, {} companies) to {}",
+        snapshot.generation,
+        snapshot.book.len(),
+        snapshot.book.companies().len(),
+        dir.display()
+    );
+    for generation in removed {
+        eprintln!("pruned generation {generation}");
+    }
+    Ok(())
+}
+
+fn cmd_generations(opts: &Opts) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let generations = store.generations().map_err(|e| e.to_string())?;
+    if generations.is_empty() {
+        println!("store {} is empty", store.root().display());
+        return Ok(());
+    }
+    println!("{:<12} {:>8} {:>10}  status", "generation", "events", "companies");
+    for generation in generations {
+        match store.load(generation) {
+            Ok(snapshot) => println!(
+                "{generation:<12} {:>8} {:>10}  valid",
+                snapshot.book.len(),
+                snapshot.book.companies().len()
+            ),
+            Err(e) => println!("{generation:<12} {:>8} {:>10}  INVALID: {e}", "-", "-"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_diff(opts: &Opts) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let generations = store.generations().map_err(|e| e.to_string())?;
+    let to = match opts.get("to") {
+        Some(v) => v.parse::<u64>().map_err(|_| "bad --to value")?,
+        None => *generations.last().ok_or("store is empty")?,
+    };
+    let from = match opts.get("from") {
+        Some(v) => v.parse::<u64>().map_err(|_| "bad --from value")?,
+        None => *generations
+            .iter()
+            .rev()
+            .find(|&&g| g < to)
+            .ok_or("no earlier generation to diff against (use --from)")?,
+    };
+    let older = store
+        .load(from)
+        .map_err(|e| format!("generation {from}: {e}"))?;
+    let newer = store
+        .load(to)
+        .map_err(|e| format!("generation {to}: {e}"))?;
+
+    // Events carry no identity beyond their content, so the diff is a
+    // multiset difference over the full event value.
+    let mut remaining: Vec<&etap_repro::TriggerEvent> = older.book.events().iter().collect();
+    let mut added = Vec::new();
+    for event in newer.book.events() {
+        match remaining.iter().position(|e| *e == event) {
+            Some(i) => {
+                remaining.swap_remove(i);
+            }
+            None => added.push(event),
+        }
+    }
+    println!(
+        "gen {from} → gen {to}: {} events → {} events (+{} / -{})",
+        older.book.len(),
+        newer.book.len(),
+        added.len(),
+        remaining.len()
+    );
+    for event in added.iter().take(opts.usize_or("top", 5)) {
+        println!("+ [{:.3}] ({}) {}", event.score, event.driver, event.snippet);
+    }
+    for event in remaining.iter().take(opts.usize_or("top", 5)) {
+        println!("- [{:.3}] ({}) {}", event.score, event.driver, event.snippet);
+    }
+    Ok(())
 }
 
 fn cmd_eval(opts: &Opts) -> Result<(), String> {

@@ -13,7 +13,8 @@
 //! | [`classify`] | `etap-classify` | NB / LR / SVM / EM, de-noising, metrics |
 //! | [`corpus`] | `etap-corpus` | synthetic web, search engine, sales drivers |
 //! | [`runtime`] | `etap-runtime` | seeded PRNG + deterministic thread fan-out (`ETAP_THREADS`) |
-//! | [`serve`] | `etap-serve` | HTTP lead serving: hot-swap snapshots, backpressure, metrics |
+//! | [`persist`] | `etap-persist` | versioned text codec: escaping, checksums, atomic writes |
+//! | [`serve`] | `etap-serve` | HTTP lead serving: hot-swap snapshots, generation store, metrics |
 //!
 //! See the repository README for a walkthrough and `examples/` for
 //! runnable scenarios.
@@ -25,6 +26,7 @@ pub use etap_annotate as annotate;
 pub use etap_classify as classify;
 pub use etap_corpus as corpus;
 pub use etap_features as features;
+pub use etap_persist as persist;
 pub use etap_runtime as runtime;
 pub use etap_serve as serve;
 pub use etap_text as text;

@@ -124,3 +124,142 @@ fn missing_required_flag_fails() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--out"), "{stderr}");
 }
+
+#[test]
+fn publish_generations_diff_workflow() {
+    let models = temp_model_dir("store_models");
+    let store = temp_model_dir("store_root");
+
+    // Train once; both publishes below reuse these models.
+    let out = cli()
+        .args([
+            "train",
+            "--out",
+            models.to_str().unwrap(),
+            "--docs",
+            "900",
+            "--driver",
+            "cim",
+        ])
+        .output()
+        .expect("run train");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // publish generation 1: full build from models + crawl.
+    let out = cli()
+        .args([
+            "publish",
+            "--store",
+            store.to_str().unwrap(),
+            "--models",
+            models.to_str().unwrap(),
+            "--docs",
+            "80",
+        ])
+        .output()
+        .expect("run publish");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("published generation 1"),
+        "unexpected publish output: {stdout}"
+    );
+    assert!(store.join("gen-1").join("MANIFEST").exists());
+
+    // publish generation 2: --extend over a different crawl seed.
+    let out = cli()
+        .args([
+            "publish",
+            "--store",
+            store.to_str().unwrap(),
+            "--extend",
+            "--docs",
+            "40",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("run publish --extend");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("published generation 2"),
+        "unexpected extend output: {stdout}"
+    );
+
+    // generations: both listed as valid.
+    let out = cli()
+        .args(["generations", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run generations");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let valid_rows = stdout.lines().filter(|l| l.ends_with("valid")).count();
+    assert_eq!(valid_rows, 2, "expected 2 valid generations:\n{stdout}");
+    assert!(!stdout.contains("INVALID"), "{stdout}");
+
+    // diff: newest vs previous; extend only adds events, never removes.
+    let out = cli()
+        .args(["diff", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run diff");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary = stdout
+        .lines()
+        .find(|l| l.starts_with("gen 1 → gen 2:"))
+        .unwrap_or_else(|| panic!("no diff summary in: {stdout}"));
+    assert!(summary.ends_with("/ -0)"), "extend removed events: {summary}");
+
+    // A corrupted generation shows as INVALID but the command succeeds.
+    let manifest = store.join("gen-2").join("MANIFEST");
+    let text = std::fs::read_to_string(&manifest).expect("read manifest");
+    std::fs::write(&manifest, &text[..text.len() - 8]).expect("truncate manifest");
+    let out = cli()
+        .args(["generations", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run generations on corrupt store");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("INVALID"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn publish_extend_on_empty_store_fails() {
+    let store = temp_model_dir("empty_store");
+    let out = cli()
+        .args([
+            "publish",
+            "--store",
+            store.to_str().unwrap(),
+            "--extend",
+        ])
+        .output()
+        .expect("run publish");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("existing valid generation"),
+        "unexpected error: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&store);
+}

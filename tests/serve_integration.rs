@@ -451,3 +451,227 @@ fn graceful_shutdown_completes_inflight_requests() {
     let rebind = std::net::TcpListener::bind(addr);
     assert!(rebind.is_ok(), "{rebind:?}");
 }
+
+/// Read exactly one HTTP response (headers + Content-Length body) from
+/// a stream that stays open — the keep-alive client's read primitive
+/// (`read_to_end` would block until the server closes). `carry` holds
+/// read-ahead bytes of the *next* response when the server's writes
+/// coalesce into one packet — the client-side mirror of the server's
+/// request carry buffer. Pass a fresh `Vec` per connection.
+fn read_one_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> String {
+    let mut buf = std::mem::take(carry);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "connection closed mid-response: {buf:?}");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            n.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .expect("Content-Length header");
+    while buf.len() < header_end + content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    *carry = buf.split_off(header_end + content_length);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+#[test]
+fn keepalive_serves_many_requests_on_one_connection() {
+    let server = boot_default();
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut carry = Vec::new();
+    for i in 0..5 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("write");
+        let response = read_one_response(&mut stream, &mut carry);
+        assert_eq!(status_of(&response), 200, "request {i}: {response}");
+        assert_eq!(
+            header_of(&response, "Connection"),
+            Some("keep-alive"),
+            "request {i}"
+        );
+    }
+    // The final request closes explicitly and the server honors it.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("write");
+    let response = read_one_response(&mut stream, &mut carry);
+    assert_eq!(header_of(&response, "Connection"), Some("close"));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read eof");
+    assert!(rest.is_empty(), "server closed after Connection: close");
+
+    let metrics = get(addr, "/metrics");
+    let body = body_of(&metrics);
+    let reuses: u64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("etap_keepalive_reuses_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("keepalive metric");
+    assert!(reuses >= 5, "expected >=5 reuses, metrics:\n{body}");
+    server.shutdown();
+}
+
+#[test]
+fn keepalive_cap_closes_connection() {
+    let config = ServeConfig {
+        keepalive_requests: 3,
+        ..ServeConfig::default()
+    };
+    let server = boot(&config);
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut carry = Vec::new();
+    for i in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("write");
+        let response = read_one_response(&mut stream, &mut carry);
+        let expected = if i == 2 { "close" } else { "keep-alive" };
+        assert_eq!(
+            header_of(&response, "Connection"),
+            Some(expected),
+            "request {i}: {response}"
+        );
+    }
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read eof");
+    assert!(rest.is_empty(), "server closed at the cap");
+    server.shutdown();
+}
+
+#[test]
+fn keepalive_pipelined_bytes_are_not_lost() {
+    // Two requests written in one packet: the read-ahead bytes of the
+    // second must be carried over, not dropped.
+    let server = boot_default();
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nGET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write both");
+    let mut carry = Vec::new();
+    let first = read_one_response(&mut stream, &mut carry);
+    assert_eq!(status_of(&first), 200, "{first}");
+    let second = read_one_response(&mut stream, &mut carry);
+    assert_eq!(status_of(&second), 200, "{second}");
+    assert_eq!(header_of(&second, "Connection"), Some("close"));
+    server.shutdown();
+}
+
+#[test]
+fn http10_defaults_to_close() {
+    let server = boot_default();
+    let addr = server.addr();
+    let response = exchange_raw(addr, b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&response), 200);
+    assert_eq!(header_of(&response, "Connection"), Some("close"));
+    server.shutdown();
+}
+
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("etap_serve_store_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn publishes_persist_and_warm_start_serves_identical_responses() {
+    let root = temp_store_dir("warm");
+    let config = ServeConfig {
+        store: Some(root.clone()),
+        ..ServeConfig::default()
+    };
+    let server = boot(&config);
+    let addr = server.addr();
+
+    // Publish generation 2 on top of the boot snapshot.
+    let next = crawl(11);
+    let snapshot = server.snapshot();
+    let gen2 = LeadSnapshot::extend(&snapshot, next.docs(), 2, 0);
+    server.publish_snapshot(Arc::new(gen2));
+
+    let leads_before = body_of(&get(addr, "/leads?top=50")).to_string();
+    let companies_before = body_of(&get(addr, "/companies?top=50")).to_string();
+    server.shutdown();
+
+    // "Restart": a brand-new server warm-started purely from disk.
+    let store = etap_repro::serve::GenerationStore::open(&root).expect("open store");
+    let (restored, skipped) = store.load_latest().expect("scan").expect("valid generation");
+    assert!(skipped.is_empty(), "{skipped:?}");
+    assert_eq!(restored.generation, 2, "resumes at the newest generation");
+    let server2 = etap_repro::serve::start(&config, Arc::new(restored)).expect("restart");
+    let addr2 = server2.addr();
+    assert_eq!(
+        body_of(&get(addr2, "/leads?top=50")),
+        leads_before,
+        "byte-identical /leads after restart"
+    );
+    assert_eq!(
+        body_of(&get(addr2, "/companies?top=50")),
+        companies_before,
+        "byte-identical /companies after restart"
+    );
+    // Generation numbering resumes monotonically.
+    let gen3 = server2.publish(server2.snapshot().book.clone(), trained());
+    assert_eq!(gen3, 3);
+    assert!(store.generations().expect("list").contains(&3));
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_newest_generation_falls_back_without_panics() {
+    let root = temp_store_dir("corrupt");
+    let config = ServeConfig {
+        store: Some(root.clone()),
+        ..ServeConfig::default()
+    };
+    let server = boot(&config);
+    let snapshot = server.snapshot();
+    let gen2 = LeadSnapshot::extend(&snapshot, crawl(12).docs(), 2, 0);
+    server.publish_snapshot(Arc::new(gen2));
+    server.shutdown();
+
+    // Corrupt the newest generation's event file on disk.
+    let victim = root.join("gen-2").join("events.leads");
+    let mut bytes = std::fs::read(&victim).expect("read victim");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, bytes).expect("rewrite");
+
+    let store = etap_repro::serve::GenerationStore::open(&root).expect("open store");
+    let (restored, skipped) = store.load_latest().expect("scan").expect("fallback");
+    assert_eq!(restored.generation, 1, "fell back to the newest valid");
+    assert_eq!(skipped.len(), 1);
+    assert_eq!(skipped[0].0, 2);
+
+    // The fallback snapshot serves; no worker dies on the way.
+    let server2 = etap_repro::serve::start(&config, Arc::new(restored)).expect("restart");
+    let addr2 = server2.addr();
+    assert_eq!(status_of(&get(addr2, "/leads?top=10")), 200);
+    let metrics = get(addr2, "/metrics");
+    assert!(
+        body_of(&metrics).contains("etap_worker_panics_total 0"),
+        "{metrics}"
+    );
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
