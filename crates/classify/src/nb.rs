@@ -161,6 +161,26 @@ impl MultinomialNbModel {
     pub fn parts(&self) -> (&[Vec<f64>; 2], &[f64; 2], &[f64; 2]) {
         (&self.log_likelihood, &self.log_prior, &self.log_unseen)
     }
+
+    /// The model's `P(positive)` prior, recovered from log space.
+    #[must_use]
+    pub fn prior_positive(&self) -> f64 {
+        self.log_prior[0].exp()
+    }
+
+    /// The same model with a replaced class prior (likelihoods
+    /// untouched). This is the online-adaptation primitive: a stored
+    /// model keeps only log parameters, so continuous ingest updates
+    /// the base-rate belief rather than refolding raw counts.
+    #[must_use]
+    pub fn with_prior_positive(&self, p: f64) -> Self {
+        let p = p.clamp(1e-6, 1.0 - 1e-6);
+        Self {
+            log_likelihood: self.log_likelihood.clone(),
+            log_prior: [p.ln(), (1.0 - p).ln()],
+            log_unseen: self.log_unseen,
+        }
+    }
 }
 
 impl Classifier for MultinomialNbModel {
@@ -369,6 +389,26 @@ mod tests {
         let pw = b.posterior(&weak.binarized());
         let ps = b.posterior(&strong.binarized());
         assert!((pw - ps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_adaptation_shifts_posterior_only_via_prior() {
+        let model = MultinomialNb::new().fit(&toy());
+        let base = model.prior_positive();
+        assert!((base - 0.5).abs() < 0.05, "{base}");
+        let skewed = model.with_prior_positive(0.9);
+        assert!((skewed.prior_positive() - 0.9).abs() < 1e-9);
+        // Uninformative input follows the new prior…
+        assert!(skewed.posterior(&SparseVec::default()) > 0.85);
+        // …while feature evidence (likelihoods) is untouched.
+        assert_eq!(
+            model.feature_log_odds(0).to_bits(),
+            skewed.feature_log_odds(0).to_bits()
+        );
+        // Extreme rates are clamped away from the log-domain poles.
+        let pinned = model.with_prior_positive(0.0);
+        assert!(pinned.prior_positive() > 0.0);
+        assert!(model.with_prior_positive(1.0).prior_positive() < 1.0);
     }
 
     #[test]

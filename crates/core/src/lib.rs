@@ -232,6 +232,26 @@ impl TrainedEtap {
         self.drivers.iter().find(|d| d.spec.driver == driver)
     }
 
+    /// Incremental retrain for continuous ingest: a new system whose
+    /// drivers have their class priors blended toward the trigger rates
+    /// observed in the latest poll (`rates[i]` pairs with `drivers[i]`;
+    /// missing entries leave that driver unchanged). Likelihoods — and
+    /// therefore each snippet's feature evidence — are untouched; see
+    /// [`TrainedDriver::with_adapted_prior`].
+    #[must_use]
+    pub fn with_adapted_priors(&self, rates: &[f64], blend: f64) -> Self {
+        let drivers = self
+            .drivers
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match rates.get(i) {
+                Some(&rate) => d.with_adapted_prior(rate, blend),
+                None => d.clone(),
+            })
+            .collect();
+        Self::from_drivers(drivers, self.snippet_window())
+    }
+
     /// Score one raw snippet text against one driver.
     #[must_use]
     pub fn score_snippet(&self, driver: SalesDriver, text: &str) -> Option<f64> {

@@ -91,7 +91,11 @@ pub struct TrainingReport {
 }
 
 /// A trained per-driver classifier with its frozen feature space.
-#[derive(Debug)]
+/// `Clone` is cheap relative to training (the vocabulary and log
+/// parameters copy; nothing re-fits) and is what lets the continuous
+/// ingest loop derive prior-adapted variants without touching the
+/// serving snapshot in place.
+#[derive(Debug, Clone)]
 pub struct TrainedDriver<M = etap_classify::nb::MultinomialNbModel> {
     /// The driver spec this model was trained for.
     pub spec: DriverSpec,
@@ -134,6 +138,26 @@ impl<M: Classifier> TrainedDriver<M> {
         etap_runtime::par_map_with(snips, threads, VectorScratch::new, |scratch, s| {
             self.score_with(s, scratch)
         })
+    }
+}
+
+impl TrainedDriver<etap_classify::nb::MultinomialNbModel> {
+    /// Online prior adaptation (the watch loop's incremental-retrain
+    /// primitive): blend the freshly observed trigger rate into the
+    /// model's class prior, `p' = (1 − blend)·p + blend·rate`, leaving
+    /// the likelihoods untouched. Stored models keep only log
+    /// parameters, so base-rate drift — the paper's daily-alert setting,
+    /// where event frequency shifts day to day — is the part of the
+    /// model that *can* be updated without refolding training counts.
+    #[must_use]
+    pub fn with_adapted_prior(&self, observed_rate: f64, blend: f64) -> Self {
+        let blend = blend.clamp(0.0, 1.0);
+        let old = self.model.prior_positive();
+        let adapted = (1.0 - blend) * old + blend * observed_rate.clamp(0.0, 1.0);
+        Self {
+            model: self.model.with_prior_positive(adapted),
+            ..self.clone()
+        }
     }
 }
 

@@ -389,6 +389,10 @@ pub fn read_file(path: &Path, kind: &str, max_version: u32) -> Result<(u32, Vec<
 /// Propagates filesystem errors.
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     use std::io::Write as _;
+    // Fault seam: chaos runs (`ETAP_FAULTS=persist.write=...`) inject
+    // IO errors / delays here, before any byte reaches disk — the write
+    // either fully happens or fully doesn't, like a real device error.
+    etap_runtime::fault::check_io("persist.write")?;
     let tmp = path.with_extension("tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;

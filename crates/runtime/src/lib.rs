@@ -15,6 +15,14 @@
 //!   long-lived [`WorkerPool`], the streaming complement to [`par`]'s
 //!   batch fan-out (used by `etap-serve` for request handling and load
 //!   shedding).
+//! * [`fault`] — deterministic fault injection: named seams in the
+//!   persist/serve/ingest layers consult a seeded registry (configured
+//!   via `ETAP_FAULTS`) so every failure-recovery path replays
+//!   identically from a spec + seed.
+//! * [`supervise`] — per-stage timeout + bounded retries with
+//!   exponential backoff and deterministic jitter, escalating to a
+//!   degraded mode after consecutive failed cycles (the control loop
+//!   under `etap-cli watch`).
 //!
 //! ## Determinism contract
 //!
@@ -28,10 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod par;
 pub mod pool;
 pub mod rng;
+pub mod supervise;
 
+pub use fault::{FaultKind, FaultPlan, FaultRegistry};
 pub use par::{max_threads, par_chunk_map, par_map, par_map_with, resolve_threads};
 pub use pool::{Bounded, PushError, WorkerPool};
 pub use rng::{splitmix64, Rng};
+pub use supervise::{RetryPolicy, StageError, Supervisor, SupervisorStats};

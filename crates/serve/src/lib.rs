@@ -57,8 +57,10 @@ pub mod metrics;
 pub mod server;
 pub mod snapshot;
 pub mod store;
+pub mod watch;
 
 pub use metrics::{Histogram, Metrics};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use snapshot::{parse_driver, LeadSnapshot, SnapshotCell};
 pub use store::{GenerationStore, StoreError};
+pub use watch::{WatchConfig, WatchReport};

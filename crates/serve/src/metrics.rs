@@ -110,6 +110,15 @@ pub struct Metrics {
     pub store_failures_total: AtomicU64,
     /// Generation of the currently published snapshot.
     pub snapshot_generation: AtomicU64,
+    /// Ingest cycles completed by the watch loop (success or failure).
+    pub watch_cycles_total: AtomicU64,
+    /// Stage retries performed by the watch supervisor.
+    pub watch_retries_total: AtomicU64,
+    /// Gauge: 1 while the watch loop is in degraded mode, else 0.
+    pub watch_degraded: AtomicU64,
+    /// Faults injected by the `ETAP_FAULTS` registry (0 outside chaos
+    /// runs).
+    pub faults_injected_total: AtomicU64,
     /// End-to-end request latency (dequeue → response written).
     pub latency: Histogram,
 }
@@ -170,6 +179,26 @@ impl Metrics {
             out,
             "etap_snapshot_generation {}",
             self.snapshot_generation.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_watch_cycles_total {}",
+            self.watch_cycles_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_watch_retries_total {}",
+            self.watch_retries_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_watch_degraded {}",
+            self.watch_degraded.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_faults_injected_total {}",
+            self.faults_injected_total.load(Ordering::Relaxed)
         );
         let _ = writeln!(out, "etap_request_latency_count {}", self.latency.count());
         let _ = writeln!(
@@ -241,6 +270,10 @@ mod tests {
             "etap_queue_depth 2",
             "etap_workers 4",
             "etap_snapshot_generation 0",
+            "etap_watch_cycles_total 0",
+            "etap_watch_retries_total 0",
+            "etap_watch_degraded 0",
+            "etap_faults_injected_total 0",
             "etap_request_latency_ms{quantile=\"0.99\"}",
             "etap_request_latency_bucket{le=\"+Inf\"} 2",
         ] {

@@ -152,7 +152,6 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     generation: AtomicU64,
     store: Option<GenerationStore>,
-    store_keep: usize,
     acceptor: Option<std::thread::JoinHandle<()>>,
     pool: Option<WorkerPool>,
 }
@@ -174,8 +173,12 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
     let queue: Arc<Bounded<Job>> = Arc::new(Bounded::new(config.queue_capacity));
     let stop = Arc::new(AtomicBool::new(false));
 
+    // Retention lives in the store itself (satellite of the watch
+    // work): every successful publish auto-prunes to `store_keep`, so
+    // long-running loops cannot fill the disk even if they never call
+    // prune explicitly.
     let store = match &config.store {
-        Some(root) => Some(GenerationStore::open(root)?),
+        Some(root) => Some(GenerationStore::open(root)?.with_retention(config.store_keep)),
         None => None,
     };
 
@@ -200,7 +203,7 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
             .map(|gens| gens.contains(&first_generation))
             .unwrap_or(false);
         if !already_stored {
-            persist_best_effort(store, &initial, config.store_keep, &ctx.metrics);
+            persist_best_effort(store, &initial, &ctx.metrics);
         }
     }
 
@@ -239,22 +242,16 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
         stop,
         generation: AtomicU64::new(first_generation),
         store,
-        store_keep: config.store_keep.max(1),
         acceptor: Some(acceptor),
         pool: Some(pool),
     })
 }
 
-/// Persist + prune, absorbing failures into a metric (a full disk must
-/// degrade durability, not availability).
-fn persist_best_effort(
-    store: &GenerationStore,
-    snapshot: &LeadSnapshot,
-    keep: usize,
-    metrics: &Metrics,
-) {
-    let failed = store.publish(snapshot).is_err() || store.prune(keep).is_err();
-    if failed {
+/// Persist (retention pruning happens inside the store), absorbing
+/// failures into a metric (a full disk must degrade durability, not
+/// availability).
+fn persist_best_effort(store: &GenerationStore, snapshot: &LeadSnapshot, metrics: &Metrics) {
+    if store.publish(snapshot).is_err() {
         metrics.store_failures_total.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -288,7 +285,7 @@ impl ServerHandle {
     pub fn publish_snapshot(&self, snapshot: Arc<LeadSnapshot>) -> u64 {
         let generation = snapshot.generation;
         if let Some(store) = &self.store {
-            persist_best_effort(store, &snapshot, self.store_keep, &self.ctx.metrics);
+            persist_best_effort(store, &snapshot, &self.ctx.metrics);
         }
         self.generation.store(generation, Ordering::SeqCst);
         self.ctx.cell.publish(snapshot);
@@ -297,6 +294,36 @@ impl ServerHandle {
             .snapshot_generation
             .store(generation, Ordering::Relaxed);
         generation
+    }
+
+    /// Strict-durability publish: persist to the configured store
+    /// *first* and swap the snapshot live only if persistence
+    /// succeeded. The continuous-ingest loop uses this so the serving
+    /// generation never runs ahead of the last sealed on-disk
+    /// generation — the invariant that makes kill -9 at any instant
+    /// recoverable. With no store configured this is a plain swap.
+    ///
+    /// # Errors
+    /// The store failure; the previously published snapshot stays live
+    /// and the failure is also counted in `etap_store_failures_total`.
+    pub fn publish_durable(&self, snapshot: Arc<LeadSnapshot>) -> io::Result<u64> {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.publish(&snapshot) {
+                self.ctx
+                    .metrics
+                    .store_failures_total
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        let generation = snapshot.generation;
+        self.generation.store(generation, Ordering::SeqCst);
+        self.ctx.cell.publish(snapshot);
+        self.ctx
+            .metrics
+            .snapshot_generation
+            .store(generation, Ordering::Relaxed);
+        Ok(generation)
     }
 
     /// The generation store backing this server, when configured.
@@ -573,9 +600,16 @@ fn route(ctx: &Ctx, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let snap = ctx.cell.load();
+            // `ok` means "serving a sealed generation" — true even in
+            // degraded mode (the last good snapshot stays live). The
+            // `status` field is where the watch loop's supervision
+            // state surfaces: "degraded" after N consecutive failed
+            // ingest cycles, "healthy" otherwise.
+            let degraded = ctx.metrics.watch_degraded.load(Ordering::Relaxed) != 0;
             let body = format!(
-                "{{\"ok\": true, \"generation\": {}}}\n",
-                snap.generation
+                "{{\"ok\": true, \"generation\": {}, \"status\": \"{}\"}}\n",
+                snap.generation,
+                if degraded { "degraded" } else { "healthy" }
             );
             json(status::OK, snap.generation, body)
         }

@@ -87,6 +87,10 @@ impl From<CodecError> for StoreError {
 #[derive(Debug)]
 pub struct GenerationStore {
     root: PathBuf,
+    /// When set, [`publish`](Self::publish) auto-prunes to this many
+    /// newest generations so a long-running watch loop cannot fill the
+    /// disk.
+    retention: Option<usize>,
 }
 
 impl GenerationStore {
@@ -97,13 +101,31 @@ impl GenerationStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(Self { root })
+        Ok(Self {
+            root,
+            retention: None,
+        })
+    }
+
+    /// Auto-prune to the `keep` newest generations after every
+    /// successful publish (`keep == 0` is treated as 1, matching
+    /// [`prune`](Self::prune)).
+    #[must_use]
+    pub fn with_retention(mut self, keep: usize) -> Self {
+        self.retention = Some(keep.max(1));
+        self
     }
 
     /// The store's root directory.
     #[must_use]
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The configured auto-prune retention, if any.
+    #[must_use]
+    pub fn retention(&self) -> Option<usize> {
+        self.retention
     }
 
     fn gen_dir(&self, generation: u64) -> PathBuf {
@@ -119,6 +141,10 @@ impl GenerationStore {
     /// Propagates filesystem errors; the store is left without a
     /// partially visible generation in every failure case.
     pub fn publish(&self, snapshot: &LeadSnapshot) -> io::Result<PathBuf> {
+        // Fault seam: lets chaos runs fail whole publishes before any
+        // tmp directory exists (distinct from `persist.write`, which
+        // fails individual file writes mid-publish).
+        etap_runtime::fault::check_io("store.publish")?;
         let generation = snapshot.generation;
         let final_dir = self.gen_dir(generation);
         let tmp_dir = self.root.join(format!("gen-{generation}.tmp"));
@@ -155,6 +181,11 @@ impl GenerationStore {
         }
         std::fs::rename(&tmp_dir, &final_dir)?;
         etap_persist::sync_dir(&self.root);
+        // Retention runs after the rename: the new generation is
+        // already sealed, so a prune failure must not fail the publish.
+        if let Some(keep) = self.retention {
+            let _ = self.prune(keep);
+        }
         Ok(final_dir)
     }
 
@@ -190,6 +221,9 @@ impl GenerationStore {
     /// See [`StoreError`]; any failure means this generation is not
     /// servable (callers typically fall back to an older one).
     pub fn load(&self, generation: u64) -> Result<LeadSnapshot, StoreError> {
+        // Fault seam: chaos runs inject read failures here, exercising
+        // the load_latest fall-back-to-older-generation path.
+        etap_runtime::fault::check_io("store.load")?;
         let dir = self.gen_dir(generation);
         let (_, records) = etap_persist::read_file(
             &dir.join("MANIFEST"),
@@ -338,6 +372,9 @@ impl GenerationStore {
 /// is renamed into visibility afterwards).
 fn write_synced(path: &Path, contents: &str) -> io::Result<()> {
     use std::io::Write as _;
+    // Same seam name as etap_persist::write_atomic: `persist.write`
+    // covers every durable file write in the publish path.
+    etap_runtime::fault::check_io("persist.write")?;
     let mut f = std::fs::File::create(path)?;
     f.write_all(contents.as_bytes())?;
     f.sync_all()
@@ -472,6 +509,16 @@ mod tests {
         let removed = store.prune(0).expect("prune 0");
         assert_eq!(removed, vec![4]);
         assert_eq!(store.generations().unwrap(), vec![5]);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn publish_auto_prunes_with_retention() {
+        let store = temp_store("autoprune").with_retention(2);
+        for g in 1..=5 {
+            store.publish(&snapshot(g, 2)).expect("publish");
+        }
+        assert_eq!(store.generations().unwrap(), vec![4, 5]);
         let _ = std::fs::remove_dir_all(store.root());
     }
 

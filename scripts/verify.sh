@@ -11,7 +11,13 @@
 #    store, serves them warm, kill -9s the server, restarts it from
 #    disk, and fails unless /leads is byte-identical across the crash
 #    and the generation counter continues monotonically; also runs
-#    bench_persist (writes BENCH_persist.json).
+#    bench_persist (writes BENCH_persist.json);
+# 6. chaos: runs the `watch` daemon under deterministic fault injection
+#    (ETAP_FAULTS: injected write errors, delayed polls, one panic),
+#    kill -9s it mid-cycle, and fails unless a warm restart serves the
+#    last sealed generation byte-for-byte and a fault-free watch run
+#    then converges back to healthy with the generation counter still
+#    monotone; also runs bench_watch (writes BENCH_watch.json).
 #
 # On a single-core host the parallel path cannot be faster — the gate
 # then only requires that the fan-out overhead stays small (speedup
@@ -146,6 +152,87 @@ cargo run -q --release --bin etap-cli -- \
 echo "generation counter monotonic across restart (next publish was 3)"
 
 cargo run -q --release -p etap-bench --bin bench_persist
+
+echo
+echo "== chaos: watch under ETAP_FAULTS, kill -9 mid-cycle, reconverge =="
+chaos_store=$(mktemp -d)
+chaos_cleanup() {
+    rm -rf "$chaos_store"
+}
+trap 'cleanup; chaos_cleanup' EXIT
+
+# A long-running watch under injected faults: some writes fail (and are
+# retried), polls are delayed, the retrain stage panics exactly once.
+: >"$smoke_log"
+ETAP_FAULTS='persist.write=io@0.05,corpus.poll=delay:20ms@0.2,retrain=panic@once' \
+ETAP_FAULT_SEED=11 \
+cargo run -q --release --bin etap-cli -- \
+    watch --store "$chaos_store" --models "$smoke_models" \
+    --addr 127.0.0.1:0 --docs 60 --interval-ms 100 \
+    >"$smoke_log" 2>/dev/null &
+server_pid=$!
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's/^listening on \(http:\/\/[0-9.:]*\)$/\1/p' "$smoke_log")
+    [ -n "$base" ] && break
+    kill -0 "$server_pid" 2>/dev/null \
+        || { echo "FAIL: chaos watch exited early" >&2; exit 1; }
+    sleep 0.2
+done
+[ -n "$base" ] || { echo "FAIL: chaos watch never printed its address" >&2; exit 1; }
+
+# Let it cycle through the injected faults until generation >= 3.
+chaos_gen=0
+for _ in $(seq 1 100); do
+    chaos_gen=$(curl -fsS "$base/healthz" 2>/dev/null \
+        | sed -n 's/.*"generation": \([0-9]*\).*/\1/p' || echo 0)
+    [ -n "$chaos_gen" ] && [ "$chaos_gen" -ge 3 ] && break
+    sleep 0.2
+done
+[ "$chaos_gen" -ge 3 ] \
+    || { echo "FAIL: chaos watch stuck at generation ${chaos_gen}" >&2; exit 1; }
+echo "chaos watch reached generation ${chaos_gen} under injected faults"
+
+# kill -9 mid-cycle: whatever was in flight must not be served later.
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+# Two fault-free warm restarts must agree byte-for-byte: the daemon
+# only ever serves sealed generations, so the kill lost at most an
+# unsealed in-flight cycle.
+old_store_dir=$store_dir
+store_dir=$chaos_store
+boot_store "$smoke_log"
+chaos_leads_a=$(curl -fsS "$base/leads?top=100")
+chaos_gen_a=$(curl -fsS "$base/healthz" | sed -n 's/.*"generation": \([0-9]*\).*/\1/p')
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+boot_store "$smoke_log"
+chaos_leads_b=$(curl -fsS "$base/leads?top=100")
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+store_dir=$old_store_dir
+[ "$chaos_leads_a" = "$chaos_leads_b" ] \
+    || { echo "FAIL: /leads differs across kill -9 of the watch daemon" >&2; exit 1; }
+echo "chaos recovery: /leads byte-identical across kill -9 (generation ${chaos_gen_a})"
+
+# Fault-free convergence: a bounded watch run ends healthy and the
+# generation counter keeps increasing past everything sealed so far.
+chaos_out=$(cargo run -q --release --bin etap-cli -- \
+    watch --store "$chaos_store" --docs 60 --cycles 2 --interval-ms 0 \
+    --addr 127.0.0.1:0 2>&1 >/dev/null) \
+    || { echo "FAIL: fault-free watch run exited non-zero" >&2; exit 1; }
+echo "$chaos_out" | grep -q "watch done: 2 cycle(s), 0 failed" \
+    || { echo "FAIL: watch did not reconverge: $chaos_out" >&2; exit 1; }
+chaos_final=$(echo "$chaos_out" | sed -n 's/.*final generation \([0-9]*\).*/\1/p')
+[ "$chaos_final" -gt "$chaos_gen_a" ] \
+    || { echo "FAIL: generation not monotone (${chaos_gen_a} -> ${chaos_final})" >&2; exit 1; }
+echo "chaos convergence: healthy after faults, generation ${chaos_gen_a} -> ${chaos_final}"
+
+cargo run -q --release -p etap-bench --bin bench_watch
 
 echo
 echo "OK: verify passed (speedup ${speedup}x on ${cores} core(s), shed_rate ${shed_rate})"

@@ -7,6 +7,7 @@
 //! etap-cli companies --models models/ [--docs 300] [--seed 7] [--top 10]
 //! etap-cli eval  --models models/ [--docs 600] [--seed 7]
 //! etap-cli serve --models models/ [--store leads/] [--addr 127.0.0.1:8787]
+//! etap-cli watch --store leads/ [--models models/] [--cycles N] [--interval-ms 1000]
 //! etap-cli publish --models models/ --store leads/ [--docs 300] [--seed 7] [--extend]
 //! etap-cli generations --store leads/
 //! etap-cli diff --store leads/ [--from N] [--to M]
@@ -25,17 +26,94 @@
 //! generations. `serve --store` warm-starts from the newest valid
 //! generation — no crawl, no retrain — and persists every later
 //! publish.
+//!
+//! `watch` is the continuous-ingest daemon: it serves the store's
+//! newest generation and then cycles poll → extend → retrain → publish
+//! under supervision (`etap_serve::watch`), sealing each generation in
+//! the store before hot-swapping it live. `ETAP_FAULTS` arms
+//! deterministic fault injection for chaos testing (see DESIGN.md §10).
+//!
+//! Exit codes are classified for supervising shells / unit files:
+//! 1 unclassified, 2 usage, 3 store corruption, 4 transient I/O.
 
 use etap_repro::system::{persist, rank, AliasResolver, EventIdentifier, TrainedDriver};
 use etap_repro::{DriverSpec, Etap, EtapConfig, SalesDriver, SyntheticWeb, WebConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// CLI failure with the exit code a supervising shell or unit file
+/// needs to tell *retryable* from *fatal* failures:
+///
+/// | code | meaning | systemd reaction |
+/// |------|---------|------------------|
+/// | 1 | unclassified error | operator judgment |
+/// | 2 | bad arguments / usage | fatal, fix the invocation |
+/// | 3 | store corruption | fatal, restore or re-publish |
+/// | 4 | transient I/O | retryable, restart with backoff |
+#[derive(Debug)]
+enum CliError {
+    /// Exit 1 — anything without a sharper classification.
+    Other(String),
+    /// Exit 2 — unknown command, missing/invalid flags, preconditions.
+    Usage(String),
+    /// Exit 3 — a generation failed checksum/manifest validation.
+    Corrupt(String),
+    /// Exit 4 — filesystem/network errors worth retrying.
+    TransientIo(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            Self::Other(_) => 1,
+            Self::Usage(_) => 2,
+            Self::Corrupt(_) => 3,
+            Self::TransientIo(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            Self::Other(m) | Self::Usage(m) | Self::Corrupt(m) | Self::TransientIo(m) => m,
+        }
+    }
+}
+
+/// Formatted runtime failures default to the unclassified exit 1.
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        Self::Other(m)
+    }
+}
+
+/// Static message strings in this binary are argument/precondition
+/// errors ("--out <dir> is required", "store is empty") → exit 2.
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        Self::Usage(m.to_string())
+    }
+}
+
+/// Classify a raw filesystem error as retryable.
+fn io_err(e: std::io::Error) -> CliError {
+    CliError::TransientIo(e.to_string())
+}
+
+/// Classify a store error: I/O is retryable, a failed checksum or
+/// manifest invariant is corruption.
+fn store_err(e: etap_repro::serve::StoreError) -> CliError {
+    use etap_repro::serve::StoreError;
+    match e {
+        StoreError::Io(io) => CliError::TransientIo(io.to_string()),
+        StoreError::Codec(_) | StoreError::Invalid(_) => CliError::Corrupt(e.to_string()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let opts = Opts::parse(&args[1..]);
     let result = match command.as_str() {
@@ -45,6 +123,7 @@ fn main() -> ExitCode {
         "companies" => cmd_companies(&opts),
         "eval" => cmd_eval(&opts),
         "serve" => cmd_serve(&opts),
+        "watch" => cmd_watch(&opts),
         "publish" => cmd_publish(&opts),
         "generations" => cmd_generations(&opts),
         "diff" => cmd_diff(&opts),
@@ -52,13 +131,13 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -74,15 +153,22 @@ USAGE:
   etap-cli eval --models <dir> [--docs N] [--seed N]
   etap-cli serve (--store <dir> | --models <dir>) [--addr HOST:PORT] [--docs N]
                  [--seed N] [--window N]
+  etap-cli watch --store <dir> [--models <dir>] [--addr HOST:PORT] [--docs N]
+                 [--seed N] [--interval-ms N] [--cycles N] [--keep N] [--window N]
+                 [--blend F] [--stage-timeout-ms N] [--degrade-after N]
   etap-cli publish --store <dir> [--models <dir>] [--docs N] [--seed N]
                    [--window N] [--extend] [--keep N]
   etap-cli generations --store <dir>
   etap-cli diff --store <dir> [--from GEN] [--to GEN]
 
+exit codes: 0 ok, 1 error, 2 usage, 3 store corruption, 4 transient I/O
+
 serve env overrides: ETAP_SERVE_ADDR, ETAP_SERVE_WORKERS, ETAP_SERVE_QUEUE,
 ETAP_SERVE_DEADLINE_MS, ETAP_SERVE_MAX_BODY, ETAP_SERVE_KEEPALIVE,
 ETAP_SERVE_STORE, ETAP_SERVE_STORE_KEEP (see README \"Serving\" and
-\"Persistence\")";
+\"Persistence\")
+watch env overrides: ETAP_FAULTS, ETAP_FAULT_SEED (deterministic fault
+injection; see README \"Continuous ingest\")";
 
 /// Minimal `--flag value` / `--flag` parser.
 struct Opts {
@@ -124,17 +210,19 @@ impl Opts {
     }
 }
 
-fn parse_drivers(spec: &str) -> Result<Vec<SalesDriver>, String> {
+fn parse_drivers(spec: &str) -> Result<Vec<SalesDriver>, CliError> {
     match spec {
         "all" => Ok(SalesDriver::ALL.to_vec()),
         "ma" => Ok(vec![SalesDriver::MergersAcquisitions]),
         "cim" => Ok(vec![SalesDriver::ChangeInManagement]),
         "rev" => Ok(vec![SalesDriver::RevenueGrowth]),
-        other => Err(format!("unknown driver {other:?} (use all|ma|cim|rev)")),
+        other => Err(CliError::Usage(format!(
+            "unknown driver {other:?} (use all|ma|cim|rev)"
+        ))),
     }
 }
 
-fn cmd_train(opts: &Opts) -> Result<(), String> {
+fn cmd_train(opts: &Opts) -> Result<(), CliError> {
     let out = PathBuf::from(opts.get("out").ok_or("--out <dir> is required")?);
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     let docs = opts.usize_or("docs", 4_000);
@@ -166,9 +254,10 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn load_models(dir: &Path) -> Result<Vec<TrainedDriver>, String> {
+fn load_models(dir: &Path) -> Result<Vec<TrainedDriver>, CliError> {
     let mut models = Vec::new();
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CliError::TransientIo(format!("{}: {e}", dir.display())))?;
     let mut paths: Vec<PathBuf> = entries
         .filter_map(Result::ok)
         .map(|e| e.path())
@@ -179,7 +268,7 @@ fn load_models(dir: &Path) -> Result<Vec<TrainedDriver>, String> {
         models.push(persist::load(&p).map_err(|e| format!("{}: {e}", p.display()))?);
     }
     if models.is_empty() {
-        return Err(format!("no .model files in {}", dir.display()));
+        return Err(CliError::Usage(format!("no .model files in {}", dir.display())));
     }
     Ok(models)
 }
@@ -195,7 +284,7 @@ fn fresh_crawl(opts: &Opts) -> SyntheticWeb {
     })
 }
 
-fn cmd_scan(opts: &Opts) -> Result<(), String> {
+fn cmd_scan(opts: &Opts) -> Result<(), CliError> {
     let models = load_models(Path::new(
         opts.get("models").ok_or("--models <dir> required")?,
     ))?;
@@ -231,7 +320,7 @@ fn cmd_scan(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_score(opts: &Opts) -> Result<(), String> {
+fn cmd_score(opts: &Opts) -> Result<(), CliError> {
     let model_path = PathBuf::from(opts.get("model").ok_or("--model <file> required")?);
     let text = opts.get("text").ok_or("--text <snippet> required")?;
     let trained = persist::load(&model_path).map_err(|e| e.to_string())?;
@@ -246,7 +335,7 @@ fn cmd_score(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_companies(opts: &Opts) -> Result<(), String> {
+fn cmd_companies(opts: &Opts) -> Result<(), CliError> {
     let models = load_models(Path::new(
         opts.get("models").ok_or("--models <dir> required")?,
     ))?;
@@ -263,7 +352,7 @@ fn cmd_companies(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(opts: &Opts) -> Result<(), String> {
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
     use etap_repro::serve::{GenerationStore, LeadSnapshot, ServeConfig};
     use std::sync::Arc;
 
@@ -333,12 +422,136 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     }
 }
 
-fn open_store(opts: &Opts) -> Result<etap_repro::serve::GenerationStore, String> {
-    let root = opts.get("store").ok_or("--store <dir> required")?;
-    etap_repro::serve::GenerationStore::open(root).map_err(|e| e.to_string())
+fn cmd_watch(opts: &Opts) -> Result<(), CliError> {
+    use etap_repro::serve::{watch, GenerationStore, LeadSnapshot, ServeConfig, WatchConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // Arm deterministic fault injection first so every later store /
+    // corpus call runs under the configured chaos plan. A malformed
+    // spec is an invocation error, not a runtime one.
+    if let Some(registry) = etap_repro::runtime::fault::install_from_env()
+        .map_err(CliError::Usage)?
+    {
+        eprintln!(
+            "fault injection armed: {} (seed {:#x})",
+            std::env::var("ETAP_FAULTS").unwrap_or_default(),
+            registry.seed()
+        );
+    }
+
+    let root = PathBuf::from(opts.get("store").ok_or("--store <dir> required")?);
+    let keep = opts.usize_or("keep", 4).max(1);
+    let store = GenerationStore::open(&root)
+        .map_err(io_err)?
+        .with_retention(keep);
+
+    // Warm start from the newest sealed generation; cold-build
+    // generation 1 otherwise. The cold build is sealed in the store
+    // *before* serving so a crash at any later instant recovers it.
+    let snapshot = match store.load_latest().map_err(io_err)? {
+        Some((snapshot, skipped)) => {
+            for (generation, reason) in &skipped {
+                eprintln!("skipping invalid generation {generation}: {reason}");
+            }
+            eprintln!("warm start from generation {}", snapshot.generation);
+            Arc::new(snapshot)
+        }
+        None => {
+            let models = load_models(Path::new(
+                opts.get("models")
+                    .ok_or("--models <dir> required (store is empty)")?,
+            ))?;
+            let window = opts.usize_or("window", 3);
+            let trained = Arc::new(etap_repro::TrainedEtap::from_drivers(models, window));
+            let docs = opts.usize_or("docs", 80);
+            let seed = opts.usize_or("seed", 0x011A_7C4) as u64;
+            let crawl = SyntheticWeb::generate(WebConfig {
+                seed: watch::poll_batch_seed(seed, 1),
+                ..WebConfig::with_docs(docs)
+            });
+            eprintln!("cold start: building generation 1 from {docs} documents…");
+            let snapshot = Arc::new(LeadSnapshot::build(trained, crawl.docs(), 1));
+            store.publish(&snapshot).map_err(io_err)?;
+            snapshot
+        }
+    };
+
+    // The watch loop owns persistence, so the server runs storeless:
+    // publish_snapshot is a pure hot-swap of the already-sealed
+    // generation.
+    let mut serve_config = ServeConfig::from_env();
+    serve_config.store = None;
+    if let Some(addr) = opts.get("addr") {
+        serve_config.addr = addr.to_string();
+    }
+    let server = etap_repro::serve::start(&serve_config, snapshot).map_err(|e| e.to_string())?;
+    // Machine-parsable on stdout: scripts extract the port from here.
+    println!("listening on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let mut config = WatchConfig {
+        interval: Duration::from_millis(opts.usize_or("interval-ms", 1_000) as u64),
+        poll_docs: opts.usize_or("docs", 80),
+        poll_seed: opts.usize_or("seed", 0x011A_7C4) as u64,
+        ..WatchConfig::default()
+    };
+    if let Some(cycles) = opts.get("cycles") {
+        let n: u64 = cycles.parse().map_err(|_| "bad --cycles value")?;
+        config.cycles = Some(n);
+    }
+    if let Some(ms) = opts.get("stage-timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --stage-timeout-ms value")?;
+        config.stage_timeout = Duration::from_millis(ms);
+    }
+    if let Some(n) = opts.get("degrade-after") {
+        config.degrade_after = n.parse().map_err(|_| "bad --degrade-after value")?;
+    }
+    if let Some(blend) = opts.get("blend") {
+        let b: f64 = blend.parse().map_err(|_| "bad --blend value")?;
+        if !(0.0..=1.0).contains(&b) {
+            return Err("--blend must be in [0, 1]".into());
+        }
+        config.prior_blend = b;
+    }
+
+    if config.cycles == Some(0) {
+        // Serve-only: keep the warm-started generation up without
+        // cycling (useful to inspect a store the daemon built).
+        loop {
+            std::thread::park();
+        }
+    }
+
+    let report = watch::run(&server, &store, &config);
+    eprintln!(
+        "watch done: {} cycle(s), {} failed, {} retries, final generation {}{}",
+        report.cycles,
+        report.cycles_failed,
+        report.retries,
+        report.final_generation,
+        if report.degraded { " [DEGRADED]" } else { "" }
+    );
+    if let Some(err) = &report.last_error {
+        eprintln!("watch last error: {err}");
+    }
+    server.shutdown();
+    if report.degraded {
+        return Err(CliError::Other(format!(
+            "watch ended degraded after {} failed cycle(s)",
+            report.cycles_failed
+        )));
+    }
+    Ok(())
 }
 
-fn cmd_publish(opts: &Opts) -> Result<(), String> {
+fn open_store(opts: &Opts) -> Result<etap_repro::serve::GenerationStore, CliError> {
+    let root = opts.get("store").ok_or("--store <dir> required")?;
+    etap_repro::serve::GenerationStore::open(root).map_err(io_err)
+}
+
+fn cmd_publish(opts: &Opts) -> Result<(), CliError> {
     use etap_repro::serve::LeadSnapshot;
     use std::sync::Arc;
 
@@ -394,7 +607,7 @@ fn cmd_publish(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generations(opts: &Opts) -> Result<(), String> {
+fn cmd_generations(opts: &Opts) -> Result<(), CliError> {
     let store = open_store(opts)?;
     let generations = store.generations().map_err(|e| e.to_string())?;
     if generations.is_empty() {
@@ -415,7 +628,7 @@ fn cmd_generations(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_diff(opts: &Opts) -> Result<(), String> {
+fn cmd_diff(opts: &Opts) -> Result<(), CliError> {
     let store = open_store(opts)?;
     let generations = store.generations().map_err(|e| e.to_string())?;
     let to = match opts.get("to") {
@@ -430,12 +643,8 @@ fn cmd_diff(opts: &Opts) -> Result<(), String> {
             .find(|&&g| g < to)
             .ok_or("no earlier generation to diff against (use --from)")?,
     };
-    let older = store
-        .load(from)
-        .map_err(|e| format!("generation {from}: {e}"))?;
-    let newer = store
-        .load(to)
-        .map_err(|e| format!("generation {to}: {e}"))?;
+    let older = store.load(from).map_err(store_err)?;
+    let newer = store.load(to).map_err(store_err)?;
 
     // Events carry no identity beyond their content, so the diff is a
     // multiset difference over the full event value.
@@ -465,7 +674,7 @@ fn cmd_diff(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eval(opts: &Opts) -> Result<(), String> {
+fn cmd_eval(opts: &Opts) -> Result<(), CliError> {
     let models = load_models(Path::new(
         opts.get("models").ok_or("--models <dir> required")?,
     ))?;

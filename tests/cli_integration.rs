@@ -244,6 +244,158 @@ fn publish_generations_diff_workflow() {
 }
 
 #[test]
+fn exit_codes_classify_usage_corruption_and_transient_io() {
+    // Usage errors (unknown command, missing flag) exit 2.
+    let out = cli().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "unknown command");
+    let out = cli().arg("train").output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "missing --out");
+
+    // Transient I/O exits 4: the store root collides with a plain file,
+    // so opening it fails at the filesystem layer.
+    let file = std::env::temp_dir().join(format!("etap_cli_notadir_{}", std::process::id()));
+    std::fs::write(&file, b"not a directory").expect("write blocker file");
+    let out = cli()
+        .args(["generations", "--store", file.to_str().unwrap()])
+        .output()
+        .expect("run generations");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "store under a file: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&file);
+
+    // Corruption exits 3: diff against a generation whose MANIFEST is
+    // truncated fails checksum validation.
+    let models = temp_model_dir("exitcode_models");
+    let store = temp_model_dir("exitcode_store");
+    let out = cli()
+        .args(["train", "--out", models.to_str().unwrap(), "--docs", "900", "--driver", "cim"])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for seed in ["7", "11"] {
+        let mut args = vec![
+            "publish",
+            "--store",
+            store.to_str().unwrap(),
+            "--models",
+            models.to_str().unwrap(),
+            "--docs",
+            "60",
+            "--seed",
+            seed,
+        ];
+        if seed != "7" {
+            args.push("--extend");
+        }
+        let out = cli().args(&args).output().expect("run publish");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let manifest = store.join("gen-2").join("MANIFEST");
+    let text = std::fs::read_to_string(&manifest).expect("read manifest");
+    std::fs::write(&manifest, &text[..text.len() - 8]).expect("truncate manifest");
+    let out = cli()
+        .args(["diff", "--store", store.to_str().unwrap(), "--from", "1", "--to", "2"])
+        .output()
+        .expect("run diff");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "diff on torn manifest: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn watch_runs_supervised_cycles_and_seals_generations() {
+    let models = temp_model_dir("watch_models");
+    let store = temp_model_dir("watch_store");
+
+    let out = cli()
+        .args(["train", "--out", models.to_str().unwrap(), "--docs", "900", "--driver", "cim"])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Cold start: watch builds generation 1, then runs 2 supervised
+    // cycles under a deterministic fault plan (one delayed poll, one
+    // panicking retrain — both must be absorbed by retries).
+    let out = cli()
+        .args([
+            "watch",
+            "--store",
+            store.to_str().unwrap(),
+            "--models",
+            models.to_str().unwrap(),
+            "--docs",
+            "40",
+            "--cycles",
+            "2",
+            "--interval-ms",
+            "0",
+        ])
+        .env("ETAP_FAULTS", "corpus.poll=delay:2ms@0.5,retrain=panic@once")
+        .env("ETAP_FAULT_SEED", "42")
+        .output()
+        .expect("run watch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("fault injection armed"), "{stderr}");
+    assert!(stderr.contains("watch done: 2 cycle(s), 0 failed"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("listening on http://"), "{stdout}");
+    // Cold-built gen 1 + two cycles = gens 1..3 sealed on disk.
+    for generation in 1..=3 {
+        assert!(
+            store.join(format!("gen-{generation}")).join("MANIFEST").exists(),
+            "generation {generation} missing\n{stderr}"
+        );
+    }
+
+    // Restarting warm-starts from generation 3 and keeps going.
+    let out = cli()
+        .args([
+            "watch",
+            "--store",
+            store.to_str().unwrap(),
+            "--docs",
+            "40",
+            "--cycles",
+            "1",
+            "--interval-ms",
+            "0",
+        ])
+        .output()
+        .expect("rerun watch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("warm start from generation 3"), "{stderr}");
+    assert!(stderr.contains("final generation 4"), "{stderr}");
+
+    // A malformed fault spec is a usage error (exit 2).
+    let out = cli()
+        .args(["watch", "--store", store.to_str().unwrap(), "--cycles", "1"])
+        .env("ETAP_FAULTS", "persist.write=bogus")
+        .output()
+        .expect("run watch with bad spec");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
 fn publish_extend_on_empty_store_fails() {
     let store = temp_model_dir("empty_store");
     let out = cli()

@@ -215,6 +215,80 @@ fn store_corruption_matrix_falls_back_to_newest_valid() {
     }
 }
 
+#[test]
+fn torn_manifest_write_falls_back_to_previous_generation() {
+    // Simulate power loss mid-way through writing gen-2's MANIFEST:
+    // the file exists but holds only a prefix of its bytes. The store
+    // must refuse the torn generation (no panic, no partial serve) and
+    // fall back to gen 1 with a logged reason.
+    let system = trained();
+    let root = temp_dir("torn_manifest");
+    let store = GenerationStore::open(&root).expect("open");
+    let gen1 = LeadSnapshot::build(Arc::clone(&system), crawl(60, 40).docs(), 1);
+    store.publish(&gen1).expect("publish 1");
+    let gen2 = LeadSnapshot::extend(&gen1, crawl(61, 20).docs(), 2, 0);
+    store.publish(&gen2).expect("publish 2");
+
+    let manifest = root.join("gen-2").join("MANIFEST");
+    let bytes = std::fs::read(&manifest).unwrap();
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&manifest, &bytes[..cut]).unwrap();
+        assert!(store.load(2).is_err(), "cut={cut}: torn manifest must not load");
+        let (loaded, skipped) = store
+            .load_latest()
+            .expect("scan survives the torn generation")
+            .expect("fallback generation");
+        assert_eq!(loaded.generation, 1, "cut={cut}");
+        assert_eq!(loaded.book, gen1.book, "cut={cut}: fallback content intact");
+        assert_eq!(skipped.len(), 1, "cut={cut}: {skipped:?}");
+        assert_eq!(skipped[0].0, 2, "cut={cut}: skip reason names gen 2");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn generation_vanishing_between_listing_and_read_never_panics() {
+    // Retention pruning (or an operator's rm -rf) can remove a
+    // generation directory after a reader has listed it. Both shapes —
+    // the directory emptied, and the directory gone entirely — must
+    // surface as a fallback, never a panic.
+    let system = trained();
+    let root = temp_dir("vanishing_gen");
+    let store = GenerationStore::open(&root).expect("open");
+    let gen1 = LeadSnapshot::build(Arc::clone(&system), crawl(62, 40).docs(), 1);
+    store.publish(&gen1).expect("publish 1");
+    let gen2 = LeadSnapshot::extend(&gen1, crawl(63, 20).docs(), 2, 0);
+    store.publish(&gen2).expect("publish 2");
+
+    // Shape 1: gen-2 still listed, but its files are gone (deleted
+    // between the directory listing and the manifest read).
+    let listed = store.generations().expect("list");
+    assert_eq!(listed, vec![1, 2]);
+    for entry in std::fs::read_dir(root.join("gen-2")).unwrap() {
+        std::fs::remove_file(entry.unwrap().path()).unwrap();
+    }
+    assert!(store.load(2).is_err(), "emptied generation must not load");
+    let (loaded, skipped) = store
+        .load_latest()
+        .expect("scan")
+        .expect("fallback generation");
+    assert_eq!(loaded.generation, 1);
+    assert_eq!(skipped.len(), 1, "{skipped:?}");
+
+    // Shape 2: the directory itself is gone. A reader holding the old
+    // listing gets an error (not a panic); a fresh scan serves gen 1.
+    std::fs::remove_dir_all(root.join("gen-2")).unwrap();
+    assert!(store.load(2).is_err(), "missing generation must error cleanly");
+    let (loaded, skipped) = store
+        .load_latest()
+        .expect("scan")
+        .expect("gen 1 still serves");
+    assert_eq!(loaded.generation, 1);
+    assert_eq!(loaded.book, gen1.book);
+    assert!(skipped.is_empty(), "nothing listed, nothing skipped: {skipped:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Replace one file's manifest entry (checksum + size) and reseal the
 /// manifest, leaving everything else untouched.
 fn rewrite_manifest_entry(dir: &PathBuf, name: &str, contents: &str) {

@@ -110,7 +110,10 @@ fn healthz_and_metrics() {
 
     let health = get(addr, "/healthz");
     assert_eq!(status_of(&health), 200);
-    assert_eq!(body_of(&health), "{\"ok\": true, \"generation\": 1}\n");
+    assert_eq!(
+        body_of(&health),
+        "{\"ok\": true, \"generation\": 1, \"status\": \"healthy\"}\n"
+    );
     assert_eq!(header_of(&health, "X-Etap-Generation"), Some("1"));
 
     let metrics = get(addr, "/metrics");
