@@ -290,7 +290,7 @@ impl NamedEntityRecognizer {
             if num.kind.is_numeric() || numeric_range {
                 let mut len = 2;
                 if let Some(scale) = tokens.get(i + 2) {
-                    if SCALE_WORDS.contains(&scale.lower().as_str()) {
+                    if SCALE_WORDS.contains(&scale.lower().as_ref()) {
                         len = 3;
                     }
                 }
@@ -304,12 +304,12 @@ impl NamedEntityRecognizer {
         }
         // "Rs 5 crore", "USD 3 million".
         let lower = t.lower();
-        if matches!(lower.as_str(), "rs" | "usd" | "eur" | "gbp" | "inr" | "jpy") {
+        if matches!(&*lower, "rs" | "usd" | "eur" | "gbp" | "inr" | "jpy") {
             let num = tokens.get(i + 1)?;
             if num.kind.is_numeric() {
                 let mut len = 2;
                 if let Some(scale) = tokens.get(i + 2) {
-                    if SCALE_WORDS.contains(&scale.lower().as_str()) {
+                    if SCALE_WORDS.contains(&scale.lower().as_ref()) {
                         len = 3;
                     }
                 }
@@ -324,12 +324,12 @@ impl NamedEntityRecognizer {
         if t.kind.is_numeric() {
             let mut j = i + 1;
             if let Some(scale) = tokens.get(j) {
-                if SCALE_WORDS.contains(&scale.lower().as_str()) {
+                if SCALE_WORDS.contains(&scale.lower().as_ref()) {
                     j += 1;
                 }
             }
             if let Some(cur) = tokens.get(j) {
-                if gazetteer::CURRENCY_WORDS.contains(&cur.lower().as_str()) {
+                if gazetteer::CURRENCY_WORDS.contains(&cur.lower().as_ref()) {
                     return Some(Candidate {
                         category: EntityCategory::Currency,
                         token_len: j - i + 1,
@@ -347,7 +347,7 @@ impl NamedEntityRecognizer {
             return None;
         }
         let next = tokens.get(i + 1)?;
-        if next.text == "%" || matches!(next.lower().as_str(), "percent" | "pct") {
+        if next.text == "%" || matches!(next.lower().as_ref(), "percent" | "pct") {
             return Some(Candidate {
                 category: EntityCategory::Prcnt,
                 token_len: 2,
@@ -358,7 +358,7 @@ impl NamedEntityRecognizer {
         if next.lower() == "percentage"
             && tokens
                 .get(i + 2)
-                .is_some_and(|p| matches!(p.lower().as_str(), "points" | "point"))
+                .is_some_and(|p| matches!(p.lower().as_ref(), "points" | "point"))
         {
             return Some(Candidate {
                 category: EntityCategory::Prcnt,
@@ -372,7 +372,7 @@ impl NamedEntityRecognizer {
     fn match_time(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
         let t = &tokens[i];
         // Named times of day.
-        if matches!(t.lower().as_str(), "noon" | "midnight") {
+        if matches!(t.lower().as_ref(), "noon" | "midnight") {
             return Some(Candidate {
                 category: EntityCategory::Tim,
                 token_len: 1,
@@ -385,7 +385,7 @@ impl NamedEntityRecognizer {
         // "4 p.m." — tokenizer yields ["4","p",".","m","."] or "4 pm".
         if let Some(next) = tokens.get(i + 1) {
             let nl = next.lower();
-            if matches!(nl.as_str(), "am" | "pm") {
+            if matches!(&*nl, "am" | "pm") {
                 return Some(Candidate {
                     category: EntityCategory::Tim,
                     token_len: 2,
@@ -475,7 +475,7 @@ impl NamedEntityRecognizer {
         // "fourth quarter", "last year", "this week", "fiscal 2004".
         let lower = t.lower();
         if matches!(
-            lower.as_str(),
+            &*lower,
             "first"
                 | "second"
                 | "third"
@@ -489,7 +489,7 @@ impl NamedEntityRecognizer {
         ) {
             if let Some(next) = tokens.get(i + 1) {
                 let nl = next.lower();
-                if gazetteer::PERIOD_WORDS.contains(&nl.as_str()) {
+                if gazetteer::PERIOD_WORDS.contains(&&*nl) {
                     return Some(Candidate {
                         category: EntityCategory::Period,
                         token_len: 2,
@@ -508,7 +508,7 @@ impl NamedEntityRecognizer {
         // Ordinal + quarter: "4th quarter".
         if t.kind == TokenKind::Ordinal {
             if let Some(next) = tokens.get(i + 1) {
-                if gazetteer::PERIOD_WORDS.contains(&next.lower().as_str()) {
+                if gazetteer::PERIOD_WORDS.contains(&next.lower().as_ref()) {
                     return Some(Candidate {
                         category: EntityCategory::Period,
                         token_len: 2,
@@ -538,7 +538,7 @@ impl NamedEntityRecognizer {
             return None;
         }
         let next = tokens.get(i + 1)?;
-        if gazetteer::UNITS.contains(&next.lower().as_str()) {
+        if gazetteer::UNITS.contains(&next.lower().as_ref()) {
             return Some(Candidate {
                 category: EntityCategory::Lngth,
                 token_len: 2,
@@ -553,7 +553,7 @@ impl NamedEntityRecognizer {
         // Digit + count noun: "5,000 employees".
         if t.kind.is_numeric() && !is_year(t.text) {
             if let Some(next) = tokens.get(i + 1) {
-                if COUNT_NOUNS.contains(&next.lower().as_str()) {
+                if COUNT_NOUNS.contains(&next.lower().as_ref()) {
                     return Some(Candidate {
                         category: EntityCategory::Cnt,
                         token_len: 2,
@@ -563,9 +563,9 @@ impl NamedEntityRecognizer {
             }
         }
         // Spelled number + count noun: "three subsidiaries".
-        if gazetteer::NUMBER_WORDS.contains(&t.lower().as_str()) {
+        if gazetteer::NUMBER_WORDS.contains(&t.lower().as_ref()) {
             if let Some(next) = tokens.get(i + 1) {
-                if COUNT_NOUNS.contains(&next.lower().as_str()) {
+                if COUNT_NOUNS.contains(&next.lower().as_ref()) {
                     return Some(Candidate {
                         category: EntityCategory::Cnt,
                         token_len: 2,

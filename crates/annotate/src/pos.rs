@@ -424,7 +424,7 @@ impl PosTagger {
         let lower = token.lower();
         if let Ok(i) = self
             .lexicon
-            .binary_search_by_key(&lower.as_str(), |(w, _)| *w)
+            .binary_search_by_key(&&*lower, |(w, _)| *w)
         {
             return self.lexicon[i].1;
         }

@@ -18,8 +18,14 @@
 //!
 //! ```json
 //! {"cycles": ..., "steady_cycle_ms": ..., "publish_to_swap_ms": ...,
-//!  "faulted_cycle_ms": ..., "faulted_retries": ..., "recovery_ms": ...}
+//!  "faulted_cycle_ms": ..., "faulted_retries": ..., "recovery_ms": ...,
+//!  "stages": {"watch.poll": ..., "watch.extend": ..., ...}}
 //! ```
+//!
+//! `stages` is the total ms spent per cycle stage across the steady
+//! run (the same `etap_runtime::perf` timers the pipeline bench uses;
+//! four scoped timers per cycle cost nanoseconds against ms-scale
+//! cycles, so they stay on during the timed run).
 //!
 //! ```sh
 //! cargo run --release -p etap-bench --bin bench_watch
@@ -92,9 +98,13 @@ fn main() {
         ..WatchConfig::default()
     };
 
-    // Steady state: fault-free cycles.
+    // Steady state: fault-free cycles, with per-stage timers on.
     eprintln!("running {cycles} steady cycle(s)…");
+    etap_runtime::perf::set_enabled(true);
+    etap_runtime::perf::reset();
     let steady = watch::run(&server, &store, &watch_config);
+    let stage_profile = etap_runtime::perf::report();
+    etap_runtime::perf::set_enabled(false);
     assert_eq!(steady.cycles_failed, 0, "{:?}", steady.last_error);
     let steady_cycle_ms = mean_ms(&steady.cycle_durations);
 
@@ -138,8 +148,10 @@ fn main() {
         "{{\"cycles\": {cycles}, \"steady_cycle_ms\": {steady_cycle_ms:.2}, \
          \"publish_to_swap_ms\": {publish_to_swap_ms:.2}, \
          \"faulted_cycle_ms\": {faulted_cycle_ms:.2}, \
-         \"faulted_retries\": {}, \"recovery_ms\": {recovery_ms:.2}}}",
-        faulted.retries
+         \"faulted_retries\": {}, \"recovery_ms\": {recovery_ms:.2}, \
+         \"stages\": {}}}",
+        faulted.retries,
+        stage_profile.to_json_ms()
     );
     println!("{json}");
     std::fs::write("BENCH_watch.json", format!("{json}\n")).expect("write BENCH_watch.json");

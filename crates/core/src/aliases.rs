@@ -69,7 +69,7 @@ impl AliasResolver {
         let mut words: Vec<String> = etap_text::tokenize(surface)
             .iter()
             .filter(|t| t.kind.is_word() || t.kind.is_numeric())
-            .map(etap_text::Token::lower)
+            .map(|t| t.lower().into_owned())
             .collect();
         if words.first().map(String::as_str) == Some("the") {
             words.remove(0);

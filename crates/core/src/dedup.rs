@@ -22,7 +22,7 @@ fn shingles(text: &str, w: usize) -> HashSet<u64> {
     let words: Vec<String> = tokenize(text)
         .iter()
         .filter(|t| t.kind.is_word() || t.kind.is_numeric())
-        .map(etap_text::Token::lower)
+        .map(|t| t.lower().into_owned())
         .collect();
     let mut out = HashSet::new();
     if words.is_empty() {

@@ -9,7 +9,15 @@ use etap_annotate::{Annotator, EntityCategory};
 use etap_classify::Classifier;
 use etap_corpus::{SalesDriver, SyntheticDoc};
 use etap_features::VectorScratch;
+use etap_runtime::Stage;
 use etap_text::SnippetGenerator;
+
+/// Perf stages for the document-scan path (no-ops unless `ETAP_PERF=1`).
+/// Together with `score.vectorize`/`score.posterior` from the scoring
+/// path these give the full per-stage breakdown of `identify`.
+static STAGE_SNIPPETS: Stage = Stage::new("scan.snippets");
+static STAGE_ANNOTATE: Stage = Stage::new("scan.annotate");
+static STAGE_EVENTS: Stage = Stage::new("scan.events");
 
 /// A scored trigger event: a snippet flagged relevant to a sales driver.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,19 +126,33 @@ impl EventIdentifier {
     ) -> Vec<TriggerEvent> {
         let mut events = Vec::new();
         let text = doc.text();
-        for snip in self.snipgen.snippets(&text) {
-            let ann = self.annotator.annotate(&snip.text);
-            // Annotate once per snippet, score once per driver.
-            let companies: Vec<String> = ann
-                .entities
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.category == EntityCategory::Org)
-                .map(|(ei, _)| ann.entity_text(ei))
-                .collect();
+        let snippets = {
+            let _t = STAGE_SNIPPETS.scope();
+            self.snipgen.snippets(&text)
+        };
+        for snip in snippets {
+            let ann = {
+                let _t = STAGE_ANNOTATE.scope();
+                self.annotator.annotate(&snip.text)
+            };
+            // Annotate once per snippet, score once per driver. The ORG
+            // surface strings are only materialized once some driver
+            // actually flags the snippet — on a well-trained model the
+            // overwhelming majority of snippets score below threshold,
+            // so the eager version allocated company lists it threw away.
+            let mut companies: Option<Vec<String>> = None;
             for trained in drivers {
                 let score = trained.score_with(&ann, scratch);
                 if score >= self.threshold {
+                    let _t = STAGE_EVENTS.scope();
+                    let companies = companies.get_or_insert_with(|| {
+                        ann.entities
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, e)| e.category == EntityCategory::Org)
+                            .map(|(ei, _)| ann.entity_text(ei))
+                            .collect()
+                    });
                     events.push(TriggerEvent {
                         driver: trained.spec.driver,
                         doc_id: doc.id,

@@ -100,9 +100,9 @@ impl LexiconLearner {
                     continue;
                 }
                 if matches!(tagger.tag_word(&t), PosTag::Vb | PosTag::Jj | PosTag::Rb) {
-                    candidates.push(lower.clone());
+                    candidates.push(lower.clone().into_owned());
                 }
-                words.push(lower);
+                words.push(lower.into_owned());
             }
             let has_pos = words.iter().any(|w| self.positive_seeds.contains(w));
             let has_neg = words.iter().any(|w| self.negative_seeds.contains(w));

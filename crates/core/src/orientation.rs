@@ -102,7 +102,7 @@ impl OrientationLexicon {
     /// first (a matched span is consumed).
     #[must_use]
     pub fn score(&self, text: &str) -> f64 {
-        let words: Vec<String> = tokenize(text).iter().map(etap_text::Token::lower).collect();
+        let words: Vec<String> = tokenize(text).iter().map(|t| t.lower().into_owned()).collect();
         let mut total = 0.0;
         let mut i = 0;
         while i < words.len() {

@@ -105,7 +105,7 @@ impl TemporalResolver {
     pub fn resolve(&self, phrase: &str, reference: Date) -> Option<Date> {
         let tokens: Vec<String> = tokenize(phrase)
             .iter()
-            .map(etap_text::Token::lower)
+            .map(|t| t.lower().into_owned())
             .collect();
         if tokens.is_empty() {
             return None;

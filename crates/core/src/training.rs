@@ -28,7 +28,17 @@ use etap_classify::{Classifier, MultinomialNb, Trainer};
 use etap_corpus::{SearchEngine, SyntheticWeb};
 use etap_features::{AbstractionPolicy, SparseVec, Vectorizer, VectorScratch};
 use etap_text::SnippetGenerator;
-use etap_runtime::Rng;
+use etap_runtime::{Rng, Stage};
+
+/// Perf stages (no-ops unless `ETAP_PERF=1`; see `etap_runtime::perf`).
+/// The scoring pair is split so a profile shows whether the hot loop is
+/// feature extraction or the classifier dot-product.
+static STAGE_VECTORIZE: Stage = Stage::new("score.vectorize");
+static STAGE_POSTERIOR: Stage = Stage::new("score.posterior");
+static STAGE_HARVEST: Stage = Stage::new("train.harvest");
+static STAGE_NEGATIVES: Stage = Stage::new("train.negatives");
+static STAGE_TRAIN_VECTORIZE: Stage = Stage::new("train.vectorize");
+static STAGE_DENOISE: Stage = Stage::new("train.denoise");
 
 /// Knobs of the training pipeline; defaults mirror the paper.
 #[derive(Debug, Clone)]
@@ -122,7 +132,11 @@ impl<M: Classifier> TrainedDriver<M> {
     /// scratch.
     #[must_use]
     pub fn score_with(&self, snip: &AnnotatedSnippet, scratch: &mut VectorScratch) -> f64 {
-        let v = self.vectorizer.vectorize_frozen(snip, scratch);
+        let v = {
+            let _t = STAGE_VECTORIZE.scope();
+            self.vectorizer.vectorize_frozen(snip, scratch)
+        };
+        let _t = STAGE_POSTERIOR.scope();
         self.model.posterior(&v)
     }
 
@@ -338,24 +352,38 @@ pub fn train_driver_with<T: Trainer>(
 where
     T::Model: Sync,
 {
-    let harvest = harvest_noisy_positives(spec, engine, web, annotator, config);
-    let pure = collect_pure_positives(spec, web, annotator, config, exclude_doc);
-    let negatives = sample_negatives(web, annotator, config, exclude_doc);
+    let (harvest, pure) = {
+        let _t = STAGE_HARVEST.scope();
+        let harvest = harvest_noisy_positives(spec, engine, web, annotator, config);
+        let pure = collect_pure_positives(spec, web, annotator, config, exclude_doc);
+        (harvest, pure)
+    };
+    let negatives = {
+        let _t = STAGE_NEGATIVES.scope();
+        sample_negatives(web, annotator, config, exclude_doc)
+    };
 
     // Batch vectorization: feature extraction fans out, interning stays
     // sequential in snippet order, so the vocabulary's dense id
     // assignment is identical to the one-by-one loop.
     let mut vectorizer = Vectorizer::new(config.policy.clone()).with_bigrams(config.bigrams);
-    let noisy_vecs: Vec<SparseVec> = vectorizer.vectorize_batch(&harvest.noisy, config.threads);
-    let pure_vecs: Vec<SparseVec> = vectorizer.vectorize_batch(&pure, config.threads);
-    let neg_vecs: Vec<SparseVec> = vectorizer.vectorize_batch(&negatives, config.threads);
-    vectorizer.freeze();
+    let (noisy_vecs, pure_vecs, neg_vecs): (Vec<SparseVec>, Vec<SparseVec>, Vec<SparseVec>) = {
+        let _t = STAGE_TRAIN_VECTORIZE.scope();
+        let noisy = vectorizer.vectorize_batch(&harvest.noisy, config.threads);
+        let pure_v = vectorizer.vectorize_batch(&pure, config.threads);
+        let neg = vectorizer.vectorize_batch(&negatives, config.threads);
+        vectorizer.freeze();
+        (noisy, pure_v, neg)
+    };
 
     let denoiser = IterativeDenoiser {
         config: config.denoise,
         threads: config.threads,
     };
-    let outcome = denoiser.run(trainer, &noisy_vecs, &pure_vecs, &neg_vecs);
+    let outcome = {
+        let _t = STAGE_DENOISE.scope();
+        denoiser.run(trainer, &noisy_vecs, &pure_vecs, &neg_vecs)
+    };
     let report = TrainingReport {
         docs_fetched: harvest.docs_fetched,
         snippets_considered: harvest.snippets_considered,

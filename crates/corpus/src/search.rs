@@ -54,7 +54,7 @@ impl SearchEngine {
             let tokens = tokenize(&text);
             doc_len.push(tokens.len() as u32);
             for (pos, tok) in tokens.iter().enumerate() {
-                let term = tok.lower();
+                let term = tok.lower().into_owned();
                 let entry = postings.entry(term).or_default();
                 match entry.last_mut() {
                     Some(p) if p.doc_id == i => p.positions.push(pos as u32),
@@ -189,7 +189,7 @@ fn parse_query(query: &str) -> (Vec<String>, Vec<Vec<String>>) {
             Some(close) => {
                 let phrase: Vec<String> = tokenize(&after[..close])
                     .iter()
-                    .map(etap_text::Token::lower)
+                    .map(|t| t.lower().into_owned())
                     .collect();
                 if !phrase.is_empty() {
                     phrases.push(phrase);
@@ -208,7 +208,7 @@ fn parse_query(query: &str) -> (Vec<String>, Vec<Vec<String>>) {
 }
 
 fn bare_terms(s: &str) -> Vec<String> {
-    tokenize(s).iter().map(etap_text::Token::lower).collect()
+    tokenize(s).iter().map(|t| t.lower().into_owned()).collect()
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 
 use crate::abstraction::{AbstractionPolicy, CategoryChoice};
 use etap_annotate::{AnnotatedSnippet, PosTag};
-use etap_text::{is_stopword, stem, Vocabulary};
+use etap_text::{is_stopword, lower_into, stem_with, TermId, Vocabulary};
 
 /// A sparse feature vector: (feature id, count) pairs sorted by id.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -212,12 +212,11 @@ impl Vectorizer {
         } = self;
         let frozen = *frozen;
         let VectorScratch {
-            feature,
-            prev,
+            walk,
             pairs,
             seen_tags,
         } = scratch;
-        walk_features(policy, *bigrams, snip, feature, prev, |feat, once| {
+        walk_features(policy, *bigrams, snip, walk, |feat, once| {
             let id = if frozen {
                 vocab.get(feat)
             } else {
@@ -252,12 +251,11 @@ impl Vectorizer {
         );
         scratch.reset();
         let VectorScratch {
-            feature,
-            prev,
+            walk,
             pairs,
             seen_tags,
         } = scratch;
-        walk_features(&self.policy, self.bigrams, snip, feature, prev, |feat, once| {
+        walk_features(&self.policy, self.bigrams, snip, walk, |feat, once| {
             if let Some(id) = self.vocab.get(feat) {
                 if once {
                     if seen_tags.contains(&id) {
@@ -295,48 +293,83 @@ impl Vectorizer {
             ..
         } = self;
         let bigrams = *bigrams;
-        // Phase 1 (parallel, read-only): feature strings per snippet.
-        let extracted: Vec<Vec<String>> = etap_runtime::par_map_with(
+        // Phase 1 (parallel, read-only): resolve every feature against
+        // the *current* vocabulary. A term already interned travels as
+        // its dense `TermId` — no `String` materialized; only terms new
+        // to this batch carry their text into phase 2. (The old
+        // implementation built `Vec<Vec<String>>` — one fresh `String`
+        // per feature *occurrence* — which dominated training-path
+        // allocations.)
+        let extracted: Vec<Vec<Feat>> = etap_runtime::par_map_with(
             snips,
             threads,
-            || (String::new(), String::new()),
-            |(feature, prev), snip| {
-                let mut feats: Vec<String> = Vec::new();
-                // Once-per-snippet tags deduplicate by string here; the
-                // sequential path dedups by id, which is equivalent
-                // because interning is injective.
-                let mut seen: Vec<String> = Vec::new();
-                walk_features(policy, bigrams, snip, feature, prev, |feat, once| {
-                    if once {
-                        if seen.iter().any(|s| s == feat) {
-                            return;
+            WalkScratch::default,
+            |walk, snip| {
+                let mut feats: Vec<Feat> = Vec::new();
+                // Once-per-snippet tags deduplicate by id where the term
+                // is known and by text otherwise; the sequential path
+                // dedups by id, which is equivalent because interning is
+                // injective.
+                let mut seen_ids: Vec<TermId> = Vec::new();
+                let mut seen_new: Vec<Box<str>> = Vec::new();
+                walk_features(policy, bigrams, snip, walk, |feat, once| {
+                    match vocab.get(feat) {
+                        Some(id) => {
+                            if once {
+                                if seen_ids.contains(&id) {
+                                    return;
+                                }
+                                seen_ids.push(id);
+                            }
+                            feats.push(Feat::Id(id));
                         }
-                        seen.push(feat.to_string());
+                        None => {
+                            if once {
+                                if seen_new.iter().any(|s| s.as_ref() == feat) {
+                                    return;
+                                }
+                                seen_new.push(feat.into());
+                            }
+                            feats.push(Feat::New(feat.into()));
+                        }
                     }
-                    feats.push(feat.to_string());
                 });
                 feats
             },
         );
-        // Phase 2 (sequential): intern in snippet order.
+        // Phase 2 (sequential): intern in snippet order, so new terms
+        // get the exact dense first-seen ids of the sequential path.
         let mut pairs: Vec<(u32, f32)> = Vec::new();
         extracted
             .iter()
             .map(|feats| {
                 pairs.clear();
-                pairs.extend(feats.iter().map(|f| (vocab.intern(f), 1.0)));
+                pairs.extend(feats.iter().map(|f| match f {
+                    Feat::Id(id) => (*id, 1.0),
+                    Feat::New(text) => (vocab.intern(text), 1.0),
+                }));
                 SparseVec::from_pairs_buf(&mut pairs)
             })
             .collect()
     }
 }
 
+/// One resolved feature occurrence from the parallel extraction phase
+/// of an unfrozen [`Vectorizer::vectorize_batch`].
+#[derive(Debug, Clone)]
+enum Feat {
+    /// Already interned before this batch started.
+    Id(TermId),
+    /// New to the vocabulary; carries its text to the sequential
+    /// interning phase.
+    New(Box<str>),
+}
+
 /// Reusable per-thread working buffers for vectorization. Purely an
 /// allocation cache: contents never influence results.
 #[derive(Debug, Default, Clone)]
 pub struct VectorScratch {
-    feature: String,
-    prev: String,
+    walk: WalkScratch,
     pairs: Vec<(u32, f32)>,
     seen_tags: Vec<u32>,
 }
@@ -349,37 +382,56 @@ impl VectorScratch {
     }
 
     fn reset(&mut self) {
-        self.feature.clear();
-        self.prev.clear();
         self.pairs.clear();
         self.seen_tags.clear();
     }
 }
 
+/// The string/byte buffers [`walk_features`] cycles through per token.
+/// Every buffer is cleared before use; none carries state across calls.
+#[derive(Debug, Default, Clone)]
+struct WalkScratch {
+    feature: String,
+    prev: String,
+    bigram: String,
+    lower: String,
+    stem: Vec<u8>,
+}
+
 /// Walk one snippet's features in the canonical emit order, calling
 /// `emit(feature, once_per_snippet)` for each. This single walker backs
-/// every vectorization mode (interning, frozen lookup, string
+/// every vectorization mode (interning, frozen lookup, batch
 /// extraction), so they cannot drift apart.
 ///
-/// Emit order — load-bearing for dense id assignment during training:
-/// entity features first (in entity order), then token features (in
-/// token order), with each bigram emitted immediately **before** its
-/// second unigram, exactly as the original implementation did.
+/// Allocation-free: every intermediate (lowercased token, stemmed word,
+/// entity surface, bigram join) is built in `scratch`'s reused buffers —
+/// the walker itself performs zero heap allocations after the buffers
+/// warm up. Emit order — load-bearing for dense id assignment during
+/// training: entity features first (in entity order), then token
+/// features (in token order), with each bigram emitted immediately
+/// **before** its second unigram, exactly as the original implementation
+/// did.
 fn walk_features(
     policy: &AbstractionPolicy,
     bigrams: bool,
     snip: &AnnotatedSnippet,
-    feature: &mut String,
-    prev: &mut String,
+    scratch: &mut WalkScratch,
     mut emit: impl FnMut(&str, bool),
 ) {
+    let WalkScratch {
+        feature,
+        prev,
+        bigram,
+        lower,
+        stem,
+    } = scratch;
     // Entity-level features. Under **Abstract** the representation is
     // presence/absence (the paper's PA), so the tag feature is emitted
     // at most once per snippet no matter how many entities of the
     // category occur — otherwise entity-dense background text (market
     // roundups naming five companies) gets its NE:ORG evidence
     // multiplied and swamps the event vocabulary.
-    for (ei, ent) in snip.entities.iter().enumerate() {
+    for ent in snip.entities.iter() {
         feature.clear();
         match policy.entity_choice(ent.category) {
             CategoryChoice::Abstract => {
@@ -389,7 +441,13 @@ fn walk_features(
             }
             CategoryChoice::Instance => {
                 feature.push_str("ne=");
-                feature.push_str(&snip.entity_text(ei).to_lowercase());
+                for (k, ti) in ent.token_range().enumerate() {
+                    if k > 0 {
+                        feature.push(' ');
+                    }
+                    lower_into(&snip.tokens[ti].text, lower);
+                    feature.push_str(lower);
+                }
                 emit(feature, false);
             }
             CategoryChoice::Drop => continue,
@@ -409,15 +467,18 @@ fn walk_features(
                 feature.push_str(tok.pos.tag());
             }
             CategoryChoice::Instance => {
-                let lower = tok.text.to_lowercase();
-                if is_stopword(&lower) {
+                lower_into(&tok.text, lower);
+                if is_stopword(lower) {
                     continue;
                 }
-                feature.push_str(&stem(&lower));
+                feature.push_str(stem_with(lower, stem));
                 if bigrams {
                     if last_instance == Some(ti.wrapping_sub(1)) {
-                        let bigram = format!("{prev}_{feature}");
-                        emit(&bigram, false);
+                        bigram.clear();
+                        bigram.push_str(prev);
+                        bigram.push('_');
+                        bigram.push_str(feature);
+                        emit(bigram, false);
                     }
                     last_instance = Some(ti);
                     prev.clear();

@@ -19,6 +19,9 @@
 //!   persist/serve/ingest layers consult a seeded registry (configured
 //!   via `ETAP_FAULTS`) so every failure-recovery path replays
 //!   identically from a spec + seed.
+//! * [`perf`] — scoped stage timers (`ETAP_PERF`) aggregating per-stage
+//!   wall-clock across threads; one relaxed atomic load when disabled,
+//!   so the pipeline keeps its timers compiled in permanently.
 //! * [`supervise`] — per-stage timeout + bounded retries with
 //!   exponential backoff and deterministic jitter, escalating to a
 //!   degraded mode after consecutive failed cycles (the control loop
@@ -38,12 +41,16 @@
 
 pub mod fault;
 pub mod par;
+pub mod perf;
 pub mod pool;
 pub mod rng;
 pub mod supervise;
 
 pub use fault::{FaultKind, FaultPlan, FaultRegistry};
-pub use par::{max_threads, par_chunk_map, par_map, par_map_with, resolve_threads};
+pub use par::{
+    max_threads, par_chunk_map, par_chunk_map_with, par_map, par_map_with, resolve_threads,
+};
+pub use perf::{PerfReport, Stage, StageGuard, StageStats};
 pub use pool::{Bounded, PushError, WorkerPool};
 pub use rng::{splitmix64, Rng};
 pub use supervise::{RetryPolicy, StageError, Supervisor, SupervisorStats};

@@ -33,7 +33,15 @@ use std::sync::Mutex;
 /// Items per work chunk in [`par_map`]/[`par_map_with`]. Fixed (never a
 /// function of the thread count) so chunk boundaries — and therefore
 /// any per-chunk state — are identical no matter how many workers run.
-pub const CHUNK: usize = 64;
+///
+/// Sizing: 128 items ≈ 15–30 ms of annotation+scoring work per chunk on
+/// the bench corpus — coarse enough that the claim/merge cost per chunk
+/// vanishes, fine enough that a 4k-doc batch still yields ~31 chunks for
+/// load balance at 8 workers. The profile-guided bump from 64 (which
+/// made per-chunk overhead ~2× more frequent for no balancing benefit)
+/// is output-invisible: no pipeline RNG stream is keyed on these chunk
+/// indices (negative sampling has its own `NEGATIVE_CHUNK`).
+pub const CHUNK: usize = 128;
 
 /// Minimum chunks each worker must have for fan-out to pay for itself.
 /// Below this the spawn + merge overhead dominates (measured: a 4000-doc
@@ -94,37 +102,64 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    par_chunk_map_with(n_chunks, threads, || (), move |(), i| f(i))
+}
+
+/// [`par_chunk_map`] with a per-**worker** scratch value.
+///
+/// `init` runs once per worker thread (and once for the sequential
+/// fallback); `f` receives the worker's scratch by `&mut` for every
+/// chunk that worker claims, so scratch buffers survive across chunks
+/// instead of being rebuilt per chunk. Scratch must not influence
+/// results — it is an allocation cache, not state.
+///
+/// Merge strategy: one pre-sized slot per chunk, each worker writing
+/// only the slots of chunks it claimed. Workers therefore never contend
+/// on a shared collection (the old implementation funneled every result
+/// through one `Mutex<Vec>` and then sorted — a serialization point
+/// that grew with worker count), and the chunk-ordered read-out at the
+/// end is just a linear take.
+pub fn par_chunk_map_with<U, S, I, F>(n_chunks: usize, threads: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
     let threads = effective_threads(threads, n_chunks);
     if threads <= 1 || n_chunks <= 1 {
-        return (0..n_chunks).map(f).collect();
+        let mut scratch = init();
+        return (0..n_chunks).map(|i| f(&mut scratch, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let slots: Vec<Mutex<Option<U>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                // Batch local results to keep lock traffic off the hot
-                // loop; one lock per worker at the end.
-                let mut local: Vec<(usize, U)> = Vec::new();
+                let mut scratch = init();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n_chunks {
                         break;
                     }
-                    local.push((i, f(i)));
+                    let u = f(&mut scratch, i);
+                    // Each chunk index is claimed exactly once, so this
+                    // per-slot lock is never contended — it exists only
+                    // to hand the result across the thread boundary.
+                    *slots[i].lock().expect("chunk slot mutex poisoned") = Some(u);
                 }
-                slots
-                    .lock()
-                    .expect("worker result mutex poisoned")
-                    .extend(local);
             });
         }
     });
-    let mut results = slots.into_inner().expect("worker result mutex poisoned");
-    results.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert_eq!(results.len(), n_chunks);
-    results.into_iter().map(|(_, u)| u).collect()
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("chunk slot mutex poisoned")
+                .expect("every chunk index was claimed and filled")
+        })
+        .collect()
 }
 
 /// Order-preserving parallel map over a slice: `out[i] == f(&items[i])`
@@ -142,12 +177,15 @@ where
 ///
 /// `init` runs once per worker (and once for the sequential fallback);
 /// `f` receives the worker's scratch by `&mut`, letting hot loops reuse
-/// buffers across items instead of allocating per item. Scratch must
-/// not influence results — it is an allocation cache, not state.
+/// buffers across items instead of allocating per item — the scratch
+/// persists across *all* chunks a worker claims, not merely within one.
+/// Scratch must not influence results — it is an allocation cache, not
+/// state.
 pub fn par_map_with<T, U, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> U + Sync,
 {
@@ -158,11 +196,10 @@ where
         return items.iter().map(|item| f(&mut scratch, item)).collect();
     }
 
-    let chunks: Vec<Vec<U>> = par_chunk_map(n_chunks, threads, |ci| {
-        let mut scratch = init();
+    let chunks: Vec<Vec<U>> = par_chunk_map_with(n_chunks, threads, &init, |scratch, ci| {
         items[ci * CHUNK..(ci * CHUNK + CHUNK).min(items.len())]
             .iter()
-            .map(|item| f(&mut scratch, item))
+            .map(|item| f(scratch, item))
             .collect()
     });
     chunks.into_iter().flatten().collect()
@@ -236,6 +273,88 @@ mod tests {
     fn resolve_threads_zero_means_auto() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    /// Satellite property: for input lengths that straddle a `CHUNK`
+    /// boundary (the off-by-one shapes a chunk-size change can break),
+    /// `par_map_with` output must be bit-identical at every thread
+    /// count, with the per-worker scratch demonstrably reused.
+    #[test]
+    fn chunk_boundary_output_is_thread_invariant() {
+        for n in [CHUNK - 1, CHUNK, CHUNK + 1, 10 * CHUNK + 3] {
+            let items: Vec<u64> = (0..n as u64).map(|x| x.wrapping_mul(0x9E37)).collect();
+            let run = |threads: usize| -> Vec<String> {
+                par_map_with(
+                    &items,
+                    threads,
+                    || String::with_capacity(32),
+                    |buf, &x| {
+                        // Scratch as a format cache: reused across items
+                        // and (post-rework) across chunks of one worker.
+                        buf.clear();
+                        use std::fmt::Write;
+                        write!(buf, "{:x}", x ^ 0xABCD).unwrap();
+                        buf.clone()
+                    },
+                )
+            };
+            let baseline = run(1);
+            assert_eq!(baseline.len(), n);
+            for threads in [2usize, 4, 8] {
+                assert_eq!(run(threads), baseline, "n = {n}, threads = {threads}");
+            }
+        }
+    }
+
+    /// Satellite property: per-chunk RNG streams (the canonical pattern
+    /// for RNG-bearing parallel stages: chunk `i` draws only from
+    /// `Rng::stream(seed, i)`) are bit-identical at every thread count
+    /// for every boundary-straddling input length.
+    #[test]
+    fn chunk_boundary_rng_streams_are_thread_invariant() {
+        for n in [CHUNK - 1, CHUNK, CHUNK + 1, 10 * CHUNK + 3] {
+            let n_chunks = n.div_ceil(CHUNK);
+            let draw = |threads: usize| -> Vec<Vec<u64>> {
+                par_chunk_map(n_chunks, threads, |ci| {
+                    let mut rng = crate::Rng::stream(0x5EED, ci as u64);
+                    // Draw as many values as the chunk has items, so the
+                    // stream consumption pattern matches real stages.
+                    let len = CHUNK.min(n - ci * CHUNK);
+                    (0..len).map(|_| rng.next_u64()).collect()
+                })
+            };
+            let baseline = draw(1);
+            assert_eq!(baseline.iter().map(Vec::len).sum::<usize>(), n);
+            for threads in [2usize, 4, 8] {
+                assert_eq!(draw(threads), baseline, "n = {n}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_worker_scratch_survives_across_chunks() {
+        // par_chunk_map_with must run `init` once per worker, not once
+        // per chunk: with enough chunks per worker, at least one scratch
+        // sees more than one chunk. (With per-chunk init this count is
+        // always exactly n_chunks distinct scratches.)
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let n_chunks = 64;
+        let got = par_chunk_map_with(
+            n_chunks,
+            2,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |seen, i| {
+                *seen += 1;
+                i
+            },
+        );
+        assert_eq!(got, (0..n_chunks).collect::<Vec<_>>());
+        let workers = effective_threads(2, n_chunks);
+        assert_eq!(inits.load(Ordering::Relaxed), workers);
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Lightweight stage-timer instrumentation for the pipeline hot path.
+//!
+//! The training/identification pipeline is a fixed sequence of stages
+//! (snippets → annotate → vectorize → score → denoise → events); knowing
+//! *where the wall-clock goes* per stage is the difference between
+//! guessing at optimizations and killing the actual bottleneck. This
+//! module gives every stage a named timer that aggregates calls and
+//! nanoseconds across **all threads**, with one hard requirement:
+//! near-zero cost when profiling is off.
+//!
+//! ## Cost model
+//!
+//! * **Disabled** (the default): a [`Stage::scope`] call is a single
+//!   relaxed atomic load returning a no-op guard — no clock read, no
+//!   lock, no allocation. Production code can leave its timers in
+//!   permanently.
+//! * **Enabled** (`ETAP_PERF=1` or [`set_enabled`]): one
+//!   `Instant::now()` pair per scope plus two relaxed atomic adds on a
+//!   per-stage cell that each [`Stage`] handle caches after its first
+//!   use, so steady-state profiling never touches the registry lock.
+//!
+//! ## Usage
+//!
+//! ```
+//! use etap_runtime::perf;
+//! static ANNOTATE: perf::Stage = perf::Stage::new("annotate");
+//!
+//! perf::set_enabled(true);
+//! {
+//!     let _t = ANNOTATE.scope();
+//!     // ... the measured work ...
+//! }
+//! let report = perf::report();
+//! assert_eq!(report.stages()[0].name, "annotate");
+//! assert_eq!(report.stages()[0].calls, 1);
+//! perf::set_enabled(false);
+//! ```
+//!
+//! Timers are *observers only*: they never affect results, so the
+//! determinism contract (bit-identical output at any thread count) is
+//! untouched whether profiling is on or off.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Environment variable that turns stage timing on (`1`, `true`, `on`).
+pub const ENV_PERF: &str = "ETAP_PERF";
+
+const STATE_UNSET: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Tri-state switch: unset (consult `ETAP_PERF` once) / off / on.
+static ENABLED: AtomicU8 = AtomicU8::new(STATE_UNSET);
+
+/// All stage cells ever registered, in first-use order (the order the
+/// pipeline first touched them — which reads naturally in reports).
+static REGISTRY: Mutex<Vec<&'static StageCell>> = Mutex::new(Vec::new());
+
+/// Whether stage timing is currently on.
+///
+/// The first call resolves `ETAP_PERF`; after that (or after
+/// [`set_enabled`]) it is a single relaxed atomic load.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => resolve_env(),
+    }
+}
+
+#[cold]
+fn resolve_env() -> bool {
+    let on = std::env::var(ENV_PERF)
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false);
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatically switch stage timing on or off (overrides
+/// `ETAP_PERF`). Benches use this to capture a breakdown without
+/// mutating the environment.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Aggregated counters for one named stage. Shared by every thread
+/// that times the stage; relaxed ordering is enough because readers
+/// ([`report`]) only run between measured regions.
+#[derive(Debug)]
+struct StageCell {
+    name: &'static str,
+    calls: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// A named stage timer handle, cheap enough to declare `static` next to
+/// the code it measures.
+///
+/// The handle lazily registers its cell in the global registry on first
+/// [`Stage::scope`] while enabled, then caches it forever — the hot
+/// path never takes the registry lock again.
+#[derive(Debug)]
+pub struct Stage {
+    name: &'static str,
+    cell: OnceLock<&'static StageCell>,
+}
+
+impl Stage {
+    /// A new stage handle (const: usable in `static` position).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Start timing one scope of this stage. Returns a guard that
+    /// records the elapsed wall-clock on drop — or a no-op guard (no
+    /// clock read) when profiling is disabled.
+    #[inline]
+    #[must_use]
+    pub fn scope(&self) -> StageGuard {
+        if !enabled() {
+            return StageGuard { timed: None };
+        }
+        let cell = self.cell.get_or_init(|| register(self.name));
+        StageGuard {
+            timed: Some((cell, Instant::now())),
+        }
+    }
+}
+
+/// Register (or find) the cell for `name`. Stage names are expected to
+/// be unique per call site; two `Stage`s with the same name share one
+/// cell, which merges their numbers — harmless, occasionally useful.
+fn register(name: &'static str) -> &'static StageCell {
+    let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(cell) = reg.iter().find(|c| c.name == name) {
+        return cell;
+    }
+    let cell: &'static StageCell = Box::leak(Box::new(StageCell {
+        name,
+        calls: AtomicU64::new(0),
+        nanos: AtomicU64::new(0),
+    }));
+    reg.push(cell);
+    cell
+}
+
+/// RAII guard from [`Stage::scope`]; records elapsed time on drop.
+#[derive(Debug)]
+pub struct StageGuard {
+    timed: Option<(&'static StageCell, Instant)>,
+}
+
+impl Drop for StageGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((cell, start)) = self.timed {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            cell.calls.fetch_add(1, Ordering::Relaxed);
+            cell.nanos.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One stage's aggregated numbers in a [`PerfReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name as declared at the call site.
+    pub name: &'static str,
+    /// Completed scopes.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all threads. On a parallel
+    /// stage this is *CPU-side stage time*, which can exceed elapsed
+    /// wall-clock (N workers × their per-item time).
+    pub total_ns: u64,
+}
+
+impl StageStats {
+    /// Total milliseconds.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+
+    /// Mean nanoseconds per call (0 when never called).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.calls as f64
+        }
+    }
+}
+
+/// A snapshot of every registered stage, in first-use order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    stages: Vec<StageStats>,
+}
+
+impl PerfReport {
+    /// The per-stage numbers.
+    #[must_use]
+    pub fn stages(&self) -> &[StageStats] {
+        &self.stages
+    }
+
+    /// Stats for one stage by name.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of all stage time in nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.total_ns).sum()
+    }
+
+    /// True when no stage recorded anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.iter().all(|s| s.calls == 0)
+    }
+
+    /// Render as a JSON object mapping stage name → milliseconds
+    /// (`{"annotate": 812.44, ...}`), for embedding in bench files.
+    #[must_use]
+    pub fn to_json_ms(&self) -> String {
+        let mut out = String::from("{");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {:.2}", s.name, s.total_ms()));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for PerfReport {
+    /// A human table: name, calls, total ms, mean µs, share of total.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_ns().max(1) as f64;
+        writeln!(
+            f,
+            "{:<18} {:>10} {:>12} {:>12} {:>7}",
+            "stage", "calls", "total ms", "mean µs", "share"
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "{:<18} {:>10} {:>12.2} {:>12.2} {:>6.1}%",
+                s.name,
+                s.calls,
+                s.total_ms(),
+                s.mean_ns() / 1e3,
+                s.total_ns as f64 / total * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot the current counters of every registered stage. Stages
+/// that were never entered since the last [`reset`] are omitted —
+/// registration is permanent (cells are leaked statics), so without
+/// the filter a report taken after a reset would list every stage the
+/// process ever touched, all zero.
+#[must_use]
+pub fn report() -> PerfReport {
+    let reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    PerfReport {
+        stages: reg
+            .iter()
+            .map(|c| StageStats {
+                name: c.name,
+                calls: c.calls.load(Ordering::Relaxed),
+                total_ns: c.nanos.load(Ordering::Relaxed),
+            })
+            .filter(|s| s.calls > 0)
+            .collect(),
+    }
+}
+
+/// Zero every stage's counters (the stages stay registered).
+pub fn reset() {
+    let reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    for c in reg.iter() {
+        c.calls.store(0, Ordering::Relaxed);
+        c.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enabled flag and registry are process-global and the test
+    // harness runs tests on parallel threads, so every test serializes
+    // on this lock and leaves timing disabled on exit.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_scope_is_a_noop() {
+        let _lock = serial();
+        set_enabled(false);
+        static S: Stage = Stage::new("perf-test-disabled");
+        {
+            let _g = S.scope();
+        }
+        assert!(report().stage("perf-test-disabled").is_none());
+    }
+
+    #[test]
+    fn enabled_scope_records_calls_and_time() {
+        let _lock = serial();
+        set_enabled(true);
+        static S: Stage = Stage::new("perf-test-enabled");
+        for _ in 0..3 {
+            let _g = S.scope();
+            std::hint::black_box(0u64);
+        }
+        let r = report();
+        let s = r.stage("perf-test-enabled").expect("registered");
+        assert_eq!(s.calls, 3);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn report_aggregates_across_threads() {
+        let _lock = serial();
+        set_enabled(true);
+        static S: Stage = Stage::new("perf-test-threads");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        let _g = S.scope();
+                    }
+                });
+            }
+        });
+        let r = report();
+        assert_eq!(r.stage("perf-test-threads").expect("cell").calls, 40);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let _lock = serial();
+        set_enabled(true);
+        static S: Stage = Stage::new("perf-test-reset");
+        {
+            let _g = S.scope();
+        }
+        assert!(report().stage("perf-test-reset").expect("cell").calls >= 1);
+        reset();
+        // Zeroed stages drop out of the report entirely.
+        assert!(report().stage("perf-test-reset").is_none());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn json_and_display_render() {
+        let _lock = serial();
+        set_enabled(true);
+        static S: Stage = Stage::new("perf-test-render");
+        {
+            let _g = S.scope();
+        }
+        let r = report();
+        let json = r.to_json_ms();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"perf-test-render\":"));
+        assert!(r.to_string().contains("perf-test-render"));
+        set_enabled(false);
+    }
+}

@@ -40,10 +40,19 @@ use crate::snapshot::LeadSnapshot;
 use crate::store::GenerationStore;
 use etap_corpus::{SyntheticDoc, SyntheticWeb, WebConfig};
 use etap_runtime::supervise::{RetryPolicy, StageError, Supervisor};
-use etap_runtime::{fault, splitmix64};
+use etap_runtime::{fault, splitmix64, Stage};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Perf stages mirroring the supervisor's cycle stages (no-ops unless
+/// `ETAP_PERF=1`). The supervisor measures wall-clock per *attempt* for
+/// retry/timeout policy; these accumulate total time per stage across a
+/// whole run, which is what `bench_watch`'s per-stage column reports.
+static STAGE_POLL: Stage = Stage::new("watch.poll");
+static STAGE_EXTEND: Stage = Stage::new("watch.extend");
+static STAGE_RETRAIN: Stage = Stage::new("watch.retrain");
+static STAGE_PUBLISH: Stage = Stage::new("watch.publish");
 
 /// Watch-loop knobs.
 #[derive(Debug, Clone)]
@@ -189,21 +198,25 @@ fn run_cycle(
     // poll — fetch this generation's document batch.
     let poll_docs = config.poll_docs;
     let batch_seed = poll_batch_seed(config.poll_seed, generation);
-    let docs: Arc<Vec<SyntheticDoc>> = Arc::new(
-        supervisor
-            .stage("poll", timeout, move || {
-                fault::check_stage("corpus.poll")?;
-                let web = SyntheticWeb::generate(WebConfig {
-                    seed: batch_seed,
-                    ..WebConfig::with_docs(poll_docs)
-                });
-                Ok(web.docs().to_vec())
-            })
-            .map_err(|e| ("poll", e))?,
-    );
+    let docs: Arc<Vec<SyntheticDoc>> = {
+        let _t = STAGE_POLL.scope();
+        Arc::new(
+            supervisor
+                .stage("poll", timeout, move || {
+                    fault::check_stage("corpus.poll")?;
+                    let web = SyntheticWeb::generate(WebConfig {
+                        seed: batch_seed,
+                        ..WebConfig::with_docs(poll_docs)
+                    });
+                    Ok(web.docs().to_vec())
+                })
+                .map_err(|e| ("poll", e))?,
+        )
+    };
 
     // extend — delta-scan the fresh documents only.
     let extended: Arc<LeadSnapshot> = {
+        let _t = STAGE_EXTEND.scope();
         let base = Arc::clone(base);
         let docs = Arc::clone(&docs);
         let threads = config.threads;
@@ -218,6 +231,7 @@ fn run_cycle(
 
     // retrain — blend observed trigger rates into the class priors.
     let next: Arc<LeadSnapshot> = if config.prior_blend > 0.0 {
+        let _t = STAGE_RETRAIN.scope();
         let prev = Arc::clone(base);
         let snap = Arc::clone(&extended);
         let blend = config.prior_blend;
@@ -253,6 +267,7 @@ fn run_cycle(
 
     // publish — seal on disk first; swap live only on success.
     {
+        let _t = STAGE_PUBLISH.scope();
         let snap = Arc::clone(&next);
         let root = store.root().to_path_buf();
         let retention = store.retention();

@@ -33,7 +33,7 @@ pub mod vocab;
 
 pub use sentence::{SentenceChunker, SentenceSpan};
 pub use snippet::{Snippet, SnippetGenerator};
-pub use stem::stem;
+pub use stem::{stem, stem_with};
 pub use stopwords::is_stopword;
-pub use token::{tokenize, Token, TokenKind};
-pub use vocab::Vocabulary;
+pub use token::{lower_cow, lower_into, tokenize, Token, TokenKind};
+pub use vocab::{TermId, Vocabulary};

@@ -20,28 +20,39 @@
 /// ```
 #[must_use]
 pub fn stem(word: &str) -> String {
-    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
-        return word.to_string();
+    let mut buf = Vec::new();
+    stem_with(word, &mut buf).to_string()
+}
+
+/// [`stem`] into a caller-kept byte buffer: the stemmed word is left in
+/// `buf` and returned as a borrowed `&str`, so hot loops (feature
+/// extraction stems every instance-kept token of every snippet) reuse
+/// one allocation instead of building a fresh `String` per call.
+///
+/// `buf` is cleared first; its prior contents never influence the
+/// result, which is byte-identical to [`stem`]'s.
+pub fn stem_with<'b>(word: &str, buf: &'b mut Vec<u8>) -> &'b str {
+    buf.clear();
+    buf.extend_from_slice(word.as_bytes());
+    if word.len() > 2 && word.bytes().all(|b| b.is_ascii_lowercase()) {
+        let mut s = Stemmer { b: buf };
+        s.step1a();
+        s.step1b();
+        s.step1c();
+        s.step2();
+        s.step3();
+        s.step4();
+        s.step5a();
+        s.step5b();
     }
-    let mut s = Stemmer {
-        b: word.as_bytes().to_vec(),
-    };
-    s.step1a();
-    s.step1b();
-    s.step1c();
-    s.step2();
-    s.step3();
-    s.step4();
-    s.step5a();
-    s.step5b();
-    String::from_utf8(s.b).expect("stemmer operates on ASCII")
+    std::str::from_utf8(buf).expect("stemmer output preserves UTF-8")
 }
 
-struct Stemmer {
-    b: Vec<u8>,
+struct Stemmer<'a> {
+    b: &'a mut Vec<u8>,
 }
 
-impl Stemmer {
+impl Stemmer<'_> {
     fn is_consonant(&self, i: usize) -> bool {
         match self.b[i] {
             b'a' | b'e' | b'i' | b'o' | b'u' => false,

@@ -7,6 +7,7 @@
 //! mapped back to the original document for display, exactly like the
 //! ETAP UI snapshots in Figures 7 and 8 of the paper.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Coarse lexical shape of a token, computed during tokenization.
@@ -77,11 +78,15 @@ pub struct Token<'a> {
 }
 
 impl<'a> Token<'a> {
-    /// Lowercased copy of the token text. Allocates only when the token
-    /// contains an uppercase character.
+    /// Lowercased view of the token text. Borrows (no allocation) when
+    /// the token is already lowercase ASCII — the overwhelmingly common
+    /// case in English text, and previously a fresh `String` per call on
+    /// the NER/POS/feature hot paths. Mixed-case ASCII takes a cheap
+    /// byte-mapping allocation; only non-ASCII falls back to the full
+    /// Unicode lowering.
     #[must_use]
-    pub fn lower(&self) -> String {
-        self.text.to_lowercase()
+    pub fn lower(&self) -> Cow<'a, str> {
+        lower_cow(self.text)
     }
 
     /// Whether the token starts with an uppercase letter.
@@ -97,6 +102,37 @@ impl<'a> Token<'a> {
 impl fmt::Display for Token<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.text)
+    }
+}
+
+/// Lowercase `text`, borrowing when no byte needs to change. The ASCII
+/// fast paths produce byte-identical output to `str::to_lowercase` (for
+/// ASCII input the Unicode mapping *is* the ASCII mapping); non-ASCII
+/// text takes the full Unicode path.
+#[must_use]
+pub fn lower_cow(text: &str) -> Cow<'_, str> {
+    if text.is_ascii() {
+        if text.bytes().any(|b| b.is_ascii_uppercase()) {
+            Cow::Owned(text.to_ascii_lowercase())
+        } else {
+            Cow::Borrowed(text)
+        }
+    } else {
+        Cow::Owned(text.to_lowercase())
+    }
+}
+
+/// Lowercase `text` into a caller-kept buffer (cleared first): the
+/// zero-allocation companion of [`lower_cow`] for loops that lowercase
+/// every token into the same scratch `String`.
+pub fn lower_into(text: &str, out: &mut String) {
+    out.clear();
+    if text.is_ascii() {
+        for b in text.bytes() {
+            out.push(b.to_ascii_lowercase() as char);
+        }
+    } else {
+        out.extend(text.chars().flat_map(char::to_lowercase));
     }
 }
 

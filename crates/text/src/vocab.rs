@@ -6,9 +6,46 @@
 //! through the pipeline keeps feature vectors compact and hashing cheap.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// Dense id assigned to an interned string.
 pub type TermId = u32;
+
+/// FNV-1a, a fast deterministic hash for the short feature strings this
+/// table holds ("acquisit", "NE:ORG", "will_acquir"). The std SipHash
+/// default is DoS-hardened but measurably slower per lookup, and the
+/// scoring hot path does one lookup per emitted feature; vocabulary
+/// keys come from our own tokenizer, not an adversary, so the cheap
+/// hash is safe here. (Same function as `etap_runtime::fault`'s point
+/// hashing; duplicated because etap-text sits below etap-runtime.)
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = BuildHasherDefault<Fnv1a64>;
 
 /// A bidirectional string ↔ id table.
 ///
@@ -25,10 +62,15 @@ pub type TermId = u32;
 /// assert_eq!(v.term(a), Some("acquire"));
 /// assert_eq!(v.len(), 2);
 /// ```
+/// Both directions share one `Arc<str>` per term (the map key and the
+/// id-indexed entry point at the same allocation), so interning costs a
+/// single string copy — the old `String`-keyed layout allocated the term
+/// twice. `Arc` (not `Rc`) because frozen vocabularies are read
+/// concurrently by scoring workers.
 #[derive(Debug, Default, Clone)]
 pub struct Vocabulary {
-    by_term: HashMap<String, TermId>,
-    by_id: Vec<String>,
+    by_term: HashMap<Arc<str>, TermId, FnvBuild>,
+    by_id: Vec<Arc<str>>,
 }
 
 impl Vocabulary {
@@ -42,7 +84,7 @@ impl Vocabulary {
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
         Self {
-            by_term: HashMap::with_capacity(cap),
+            by_term: HashMap::with_capacity_and_hasher(cap, FnvBuild::default()),
             by_id: Vec::with_capacity(cap),
         }
     }
@@ -70,14 +112,17 @@ impl Vocabulary {
         self.by_id.reserve(additional);
     }
 
-    /// Intern `term`, returning its id (allocating one if unseen).
+    /// Intern `term`, returning its id (allocating one if unseen). An
+    /// unseen term is copied exactly once: the lookup map and the
+    /// id-order list share the same `Arc<str>`.
     pub fn intern(&mut self, term: &str) -> TermId {
         if let Some(&id) = self.by_term.get(term) {
             return id;
         }
         let id = TermId::try_from(self.by_id.len()).expect("vocabulary exceeds u32::MAX terms");
-        self.by_term.insert(term.to_string(), id);
-        self.by_id.push(term.to_string());
+        let shared: Arc<str> = Arc::from(term);
+        self.by_term.insert(Arc::clone(&shared), id);
+        self.by_id.push(shared);
         id
     }
 
@@ -100,7 +145,7 @@ impl Vocabulary {
     /// The term behind an id.
     #[must_use]
     pub fn term(&self, id: TermId) -> Option<&str> {
-        self.by_id.get(id as usize).map(String::as_str)
+        self.by_id.get(id as usize).map(AsRef::as_ref)
     }
 
     /// Number of distinct terms.
@@ -120,7 +165,7 @@ impl Vocabulary {
         self.by_id
             .iter()
             .enumerate()
-            .map(|(i, t)| (i as TermId, t.as_str()))
+            .map(|(i, t)| (i as TermId, t.as_ref()))
     }
 }
 

@@ -2,8 +2,13 @@
 # Tier-1 verification + pipeline throughput gate + serve smoke test.
 #
 # 1. `cargo build --release && cargo test -q` (the repo's tier-1 bar);
-# 2. the throughput benchmark (writes BENCH_pipeline.json);
-# 3. fails if the N-thread pipeline is *slower* than the 1-thread run;
+# 2. the throughput benchmark (writes BENCH_pipeline.json with 1/2/4-
+#    thread docs/sec and a per-stage ms breakdown);
+# 3. perf gate: fails if (a) the 2-/4-thread speedups fall below
+#    hardware-scaled floors (1.5x / 2.5x on a >=4-core host; overhead
+#    bound 0.85x on a single core, where real speedup is impossible),
+#    or (b) single-thread docs/sec regresses >10% below the committed
+#    BENCH_pipeline.json baseline — printed as a diff-style report;
 # 4. boots `etap-cli serve` on an ephemeral port, curls /healthz and
 #    /leads, then load-tests with bench_serve (writes BENCH_serve.json)
 #    and fails if any request was shed at nominal load;
@@ -31,21 +36,83 @@ cargo test -q
 
 echo
 echo "== throughput: bench_throughput (writes BENCH_pipeline.json) =="
+# Capture the committed baseline before the bench overwrites it.
+perf_baseline=""
+if [ -f BENCH_pipeline.json ]; then
+    perf_baseline=$(mktemp)
+    cp BENCH_pipeline.json "$perf_baseline"
+fi
 cargo run -q --release -p etap-bench --bin bench_throughput
 
-speedup=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)
-cores=$(nproc 2>/dev/null || echo 1)
-if [ "$cores" -gt 1 ]; then
-    floor="1.0"
+# jnum <file> <key>: pull a flat numeric JSON field.
+jnum() { sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1"; }
+
+cores=$(jnum BENCH_pipeline.json cores)
+d1=$(jnum BENCH_pipeline.json docs_per_sec_1t)
+s2=$(jnum BENCH_pipeline.json speedup_2t)
+s4=$(jnum BENCH_pipeline.json speedup_4t)
+
+# Hardware-scaled speedup floors. The fan-out is capped at the host's
+# parallelism (oversubscription only adds context switches), so a
+# 1-core host can never beat ~1.0x — there the gate only bounds the
+# fan-out overhead, and a 2–3-core host can't be held to the 4-thread
+# target.
+if [ "$cores" -ge 4 ]; then
+    floor2=1.5 floor4=2.5
+elif [ "$cores" -ge 2 ]; then
+    floor2=1.5 floor4=1.5
 else
-    floor="0.85"
-    echo "note: single-core host ($cores CPU) — parallel speedup is bounded at ~1.0x;"
-    echo "      gating only on fan-out overhead (speedup >= $floor)."
+    floor2=0.85 floor4=0.85
+    echo "note: single-core host — parallel speedup is bounded at ~1.0x;"
+    echo "      gating only on fan-out overhead (speedup >= $floor2)."
 fi
 
-ok=$(awk -v s="$speedup" -v f="$floor" 'BEGIN { print (s >= f) ? 1 : 0 }')
-if [ "$ok" -ne 1 ]; then
-    echo "FAIL: N-thread pipeline slower than 1-thread (speedup ${speedup}x < ${floor})" >&2
+perf_fail=0
+gate() { # gate <label> <value> <floor>
+    if [ "$(awk -v v="$2" -v f="$3" 'BEGIN { print (v >= f) ? 1 : 0 }')" -ne 1 ]; then
+        echo "FAIL: $1 = $2 (floor $3)" >&2
+        perf_fail=1
+    else
+        echo "  ok: $1 = $2 (floor $3)"
+    fi
+}
+gate "speedup_2t" "$s2" "$floor2"
+gate "speedup_4t" "$s4" "$floor4"
+
+# Regression gate vs the committed baseline: single-thread docs/sec is
+# measurable on any host (unlike speedup), so it must not drop more
+# than 10% below what was last committed. Printed as a diff-style
+# report, per-stage times included. The bench takes best-of-3 to damp
+# shared-host noise; ETAP_PERF_FLOOR overrides the 0.9 ratio on hosts
+# whose clock-for-clock throughput genuinely drifts (noisy neighbors).
+perf_floor="${ETAP_PERF_FLOOR:-0.9}"
+if [ -n "$perf_baseline" ]; then
+    base_d1=$(jnum "$perf_baseline" docs_per_sec_1t)
+    if [ -n "$base_d1" ]; then
+        echo "  perf diff vs committed BENCH_pipeline.json:"
+        awk -v b="$base_d1" -v c="$d1" 'BEGIN {
+            printf "    %-22s %10.1f  -> %10.1f    (%+.1f%%)\n",
+                   "docs_per_sec_1t", b, c, (c / b - 1) * 100 }'
+        # Stage names are the dotted keys of the "stages" object.
+        for st in $(grep -o '"[a-z]*\.[a-z]*": [0-9.]*' BENCH_pipeline.json \
+                    | sed 's/"\([^"]*\)": .*/\1/'); do
+            bv=$(jnum "$perf_baseline" "$st")
+            cv=$(jnum BENCH_pipeline.json "$st")
+            if [ -n "$bv" ] && [ -n "$cv" ]; then
+                awk -v n="$st" -v b="$bv" -v c="$cv" 'BEGIN {
+                    printf "    %-22s %8.1f ms -> %8.1f ms (%+.1f%%)\n",
+                           n, b, c, (b > 0 ? (c / b - 1) * 100 : 0) }'
+            fi
+        done
+        gate "docs_per_sec_1t vs ${perf_floor}x baseline ($base_d1)" "$d1" \
+            "$(awk -v b="$base_d1" -v f="$perf_floor" 'BEGIN { print b * f }')"
+    else
+        echo "  note: committed baseline predates the 1t/2t/4t schema; regression gate skipped."
+    fi
+    rm -f "$perf_baseline"
+fi
+if [ "$perf_fail" -ne 0 ]; then
+    echo "FAIL: pipeline perf gate (see above)" >&2
     exit 1
 fi
 
@@ -235,4 +302,4 @@ echo "chaos convergence: healthy after faults, generation ${chaos_gen_a} -> ${ch
 cargo run -q --release -p etap-bench --bin bench_watch
 
 echo
-echo "OK: verify passed (speedup ${speedup}x on ${cores} core(s), shed_rate ${shed_rate})"
+echo "OK: verify passed (1t ${d1} docs/s, speedup ${s2}x/${s4}x on ${cores} core(s), shed_rate ${shed_rate})"
