@@ -74,7 +74,7 @@ fn main() {
     eprintln!(
         "snapshot: {} events, {} companies",
         snapshot.book.len(),
-        snapshot.book.companies().len()
+        snapshot.book.companies_len()
     );
 
     let root = std::env::temp_dir().join(format!("etap_bench_persist_{}", std::process::id()));

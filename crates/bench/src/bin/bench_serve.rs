@@ -260,7 +260,7 @@ fn main() {
     eprintln!(
         "snapshot: {} events, {} companies",
         snapshot.book.len(),
-        snapshot.book.companies().len()
+        snapshot.book.companies_len()
     );
 
     let server = etap_serve::start(&ServeConfig::from_env(), snapshot).expect("start server");

@@ -145,6 +145,21 @@ impl LeadBook {
     pub fn drivers(&self) -> Vec<SalesDriver> {
         self.by_driver.iter().map(|(d, _)| *d).collect()
     }
+
+    /// Per-driver index lists, for the binary encoder (`leads2`).
+    pub(crate) fn by_driver_raw(&self) -> &[(SalesDriver, Vec<usize>)] {
+        &self.by_driver
+    }
+
+    /// Per-company index lists, for the binary encoder (`leads2`).
+    pub(crate) fn by_company_raw(&self) -> &HashMap<String, Vec<usize>> {
+        &self.by_company
+    }
+
+    /// Normalized-name lookup keys, for the binary encoder (`leads2`).
+    pub(crate) fn name_keys_raw(&self) -> &HashMap<String, String> {
+        &self.name_keys
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@ pub mod dedup;
 pub mod events;
 pub mod filter;
 pub mod leads;
+pub mod leads2;
 pub mod lexlearn;
 pub mod orientation;
 pub mod persist;
@@ -61,6 +62,7 @@ pub use dedup::EventDeduper;
 pub use events::{EventIdentifier, TriggerEvent};
 pub use filter::Filter;
 pub use leads::LeadBook;
+pub use leads2::{BookHandle, CompanyRef, EventRef, MappedBook};
 pub use lexlearn::LexiconLearner;
 pub use orientation::OrientationLexicon;
 pub use rank::{

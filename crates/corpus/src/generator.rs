@@ -29,7 +29,7 @@ pub enum Genre {
 }
 
 /// A generated document with ground truth attached.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticDoc {
     /// Stable document id (position in the web).
     pub id: usize,

@@ -34,6 +34,7 @@ pub mod drivers;
 pub mod generator;
 pub mod names;
 pub mod search;
+pub mod stream;
 pub mod templates;
 pub mod web;
 
@@ -42,4 +43,5 @@ pub use drivers::SalesDriver;
 pub use generator::{DocGenerator, Genre, SyntheticDoc};
 pub use names::NameGenerator;
 pub use search::{SearchEngine, SearchHit};
+pub use stream::DocStream;
 pub use web::{SyntheticWeb, WebConfig};

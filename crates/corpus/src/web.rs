@@ -62,7 +62,7 @@ impl WebConfig {
         }
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         let events =
             (self.trigger_fraction + self.distractor_fraction) * SalesDriver::ALL.len() as f64;
         let total = events + self.business_noise_fraction;
@@ -112,6 +112,15 @@ impl SyntheticWeb {
             docs.push(doc);
         }
         Self { docs, config }
+    }
+
+    /// Stream the documents `generate(config)` would materialize, one
+    /// at a time with O(1) memory — the scale path for corpora too
+    /// large to hold (see [`crate::stream::DocStream`] for the parity
+    /// contract).
+    #[must_use]
+    pub fn stream(config: WebConfig) -> crate::stream::DocStream {
+        crate::stream::DocStream::new(config)
     }
 
     /// The configuration this web was generated from.

@@ -38,8 +38,17 @@
 //! directory — a crash leaves either the old file or the new one,
 //! never a torn hybrid.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the zero-copy arena (`arena` module)
+// hand-rolls `mmap(2)` behind a narrowly scoped `#[allow(unsafe_code)]`
+// — the only unsafe in the workspace. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod arena;
+pub mod binfmt;
+
+pub use arena::{open_arena, Arena};
+pub use binfmt::{bin_open, BinView, BinWriter};
 
 use std::fmt;
 use std::io;

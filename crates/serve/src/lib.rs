@@ -62,5 +62,5 @@ pub mod watch;
 pub use metrics::{Histogram, Metrics};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use snapshot::{parse_driver, LeadSnapshot, SnapshotCell};
-pub use store::{GenerationStore, StoreError};
+pub use store::{GenerationStore, LeadsFormat, PublishOutcome, StoreError};
 pub use watch::{WatchConfig, WatchReport};

@@ -110,6 +110,15 @@ pub struct Metrics {
     pub store_failures_total: AtomicU64,
     /// Generation of the currently published snapshot.
     pub snapshot_generation: AtomicU64,
+    /// Gauge: approximate bytes behind the served book — arena bytes
+    /// for a mapped snapshot, heap estimate for an owned one.
+    pub snapshot_bytes: AtomicU64,
+    /// Gauge: 1 while the served snapshot is a zero-copy `LEADS v2`
+    /// mapping, 0 while it is heap-owned.
+    pub mmap_generations: AtomicU64,
+    /// Dirty shard files written by store publishes (clean shards are
+    /// hard-linked and not counted — the incremental-publish signal).
+    pub shards_dirty_total: AtomicU64,
     /// Ingest cycles completed by the watch loop (success or failure).
     pub watch_cycles_total: AtomicU64,
     /// Stage retries performed by the watch supervisor.
@@ -179,6 +188,21 @@ impl Metrics {
             out,
             "etap_snapshot_generation {}",
             self.snapshot_generation.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_snapshot_bytes {}",
+            self.snapshot_bytes.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_mmap_generations {}",
+            self.mmap_generations.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "etap_shards_dirty_total {}",
+            self.shards_dirty_total.load(Ordering::Relaxed)
         );
         let _ = writeln!(
             out,
@@ -270,6 +294,9 @@ mod tests {
             "etap_queue_depth 2",
             "etap_workers 4",
             "etap_snapshot_generation 0",
+            "etap_snapshot_bytes 0",
+            "etap_mmap_generations 0",
+            "etap_shards_dirty_total 0",
             "etap_watch_cycles_total 0",
             "etap_watch_retries_total 0",
             "etap_watch_degraded 0",

@@ -30,8 +30,7 @@ use crate::json::JsonWriter;
 use crate::metrics::Metrics;
 use crate::snapshot::{parse_driver, LeadSnapshot, SnapshotCell};
 use crate::store::GenerationStore;
-use etap::rank::CompanyScore;
-use etap::TriggerEvent;
+use etap::{CompanyRef, EventRef};
 use etap_runtime::pool::{Bounded, PushError, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -196,6 +195,7 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
     ctx.metrics
         .snapshot_generation
         .store(first_generation, Ordering::Relaxed);
+    record_snapshot_gauges(&ctx.metrics, &initial);
 
     if let Some(store) = &store {
         let already_stored = store
@@ -205,6 +205,9 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
         if !already_stored {
             persist_best_effort(store, &initial, &ctx.metrics);
         }
+        // Pin what we serve: retention pruning must never delete the
+        // generation a live server has mapped.
+        store.pin(first_generation);
     }
 
     let pool = {
@@ -251,9 +254,26 @@ pub fn start(config: &ServeConfig, initial: Arc<LeadSnapshot>) -> io::Result<Ser
 /// failures into a metric (a full disk must degrade durability, not
 /// availability).
 fn persist_best_effort(store: &GenerationStore, snapshot: &LeadSnapshot, metrics: &Metrics) {
-    if store.publish(snapshot).is_err() {
-        metrics.store_failures_total.fetch_add(1, Ordering::Relaxed);
+    match store.publish(snapshot) {
+        Ok(outcome) => {
+            metrics
+                .shards_dirty_total
+                .fetch_add(outcome.shards_written, Ordering::Relaxed);
+        }
+        Err(_) => {
+            metrics.store_failures_total.fetch_add(1, Ordering::Relaxed);
+        }
     }
+}
+
+/// Refresh the per-snapshot gauges after a swap (or at boot).
+fn record_snapshot_gauges(metrics: &Metrics, snapshot: &LeadSnapshot) {
+    metrics
+        .snapshot_bytes
+        .store(snapshot.book.approx_bytes() as u64, Ordering::Relaxed);
+    metrics
+        .mmap_generations
+        .store(u64::from(snapshot.book.is_mapped()), Ordering::Relaxed);
 }
 
 impl ServerHandle {
@@ -263,14 +283,18 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Publish a new snapshot built by the caller, assigning it the
-    /// next generation number. Returns that generation. Never blocks
-    /// readers beyond a pointer swap.
-    pub fn publish(&self, book: etap::LeadBook, trained: Arc<etap::TrainedEtap>) -> u64 {
+    /// Publish a new book built by the caller — owned or mapped —
+    /// assigning it the next generation number. Returns that
+    /// generation. Never blocks readers beyond a pointer swap.
+    pub fn publish(
+        &self,
+        book: impl Into<etap::BookHandle>,
+        trained: Arc<etap::TrainedEtap>,
+    ) -> u64 {
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         let snapshot = Arc::new(LeadSnapshot {
             generation,
-            book,
+            book: book.into(),
             trained,
         });
         self.publish_snapshot(snapshot)
@@ -288,11 +312,15 @@ impl ServerHandle {
             persist_best_effort(store, &snapshot, &self.ctx.metrics);
         }
         self.generation.store(generation, Ordering::SeqCst);
+        record_snapshot_gauges(&self.ctx.metrics, &snapshot);
         self.ctx.cell.publish(snapshot);
         self.ctx
             .metrics
             .snapshot_generation
             .store(generation, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store.pin(generation);
+        }
         generation
     }
 
@@ -308,21 +336,33 @@ impl ServerHandle {
     /// and the failure is also counted in `etap_store_failures_total`.
     pub fn publish_durable(&self, snapshot: Arc<LeadSnapshot>) -> io::Result<u64> {
         if let Some(store) = &self.store {
-            if let Err(e) = store.publish(&snapshot) {
-                self.ctx
-                    .metrics
-                    .store_failures_total
-                    .fetch_add(1, Ordering::Relaxed);
-                return Err(e);
+            match store.publish(&snapshot) {
+                Ok(outcome) => {
+                    self.ctx
+                        .metrics
+                        .shards_dirty_total
+                        .fetch_add(outcome.shards_written, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    self.ctx
+                        .metrics
+                        .store_failures_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
             }
         }
         let generation = snapshot.generation;
         self.generation.store(generation, Ordering::SeqCst);
+        record_snapshot_gauges(&self.ctx.metrics, &snapshot);
         self.ctx.cell.publish(snapshot);
         self.ctx
             .metrics
             .snapshot_generation
             .store(generation, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store.pin(generation);
+        }
         Ok(generation)
     }
 
@@ -679,28 +719,26 @@ fn parse_top(req: &Request, default: usize) -> Result<usize, Response> {
     }
 }
 
-fn write_event(w: &mut JsonWriter, rank: usize, e: &TriggerEvent) {
+fn write_event(w: &mut JsonWriter, rank: usize, e: EventRef<'_>) {
+    let (y, m, d) = e.date();
     w.begin_object()
         .key("rank")
         .uint(rank as u64)
         .key("driver")
-        .string(e.driver.id())
+        .string(e.driver().id())
         .key("score")
-        .float(e.score)
+        .float(e.score())
         .key("snippet")
-        .string(&e.snippet)
+        .string(e.snippet())
         .key("url")
-        .string(&e.url)
+        .string(e.url())
         .key("doc_id")
-        .uint(e.doc_id as u64)
+        .uint(e.doc_id() as u64)
         .key("date")
-        .string(&format!(
-            "{:04}-{:02}-{:02}",
-            e.doc_date.0, e.doc_date.1, e.doc_date.2
-        ))
+        .string(&format!("{y:04}-{m:02}-{d:02}"))
         .key("companies")
         .begin_array();
-    for c in &e.companies {
+    for c in e.companies_vec() {
         w.string(c);
     }
     w.end_array().end_object();
@@ -720,12 +758,12 @@ fn leads(ctx: &Ctx, req: &Request) -> Response {
         },
     };
 
-    let selected: Vec<&TriggerEvent> = match driver {
+    let selected: Vec<EventRef<'_>> = match driver {
         Some(d) => snap.book.top_for(d, top),
-        None => snap.book.top(top).iter().collect(),
+        None => snap.book.top(top),
     };
     let total = match driver {
-        Some(d) => snap.book.top_for(d, usize::MAX).len(),
+        Some(d) => snap.book.driver_total(d),
         None => snap.book.len(),
     };
 
@@ -740,18 +778,18 @@ fn leads(ctx: &Ctx, req: &Request) -> Response {
     };
     w.key("total").uint(total as u64).key("leads").begin_array();
     for (i, e) in selected.iter().enumerate() {
-        write_event(&mut w, i + 1, e);
+        write_event(&mut w, i + 1, *e);
     }
     w.end_array().end_object();
     json(status::OK, snap.generation, w.finish())
 }
 
-fn write_company(w: &mut JsonWriter, rank: usize, c: &CompanyScore) {
+fn write_company(w: &mut JsonWriter, rank: usize, c: &CompanyRef<'_>) {
     w.begin_object()
         .key("rank")
         .uint(rank as u64)
         .key("company")
-        .string(&c.company)
+        .string(c.company)
         .key("mrr")
         .float(c.mrr)
         .key("events")
@@ -765,16 +803,17 @@ fn companies(ctx: &Ctx, req: &Request) -> Response {
         Ok(t) => t,
         Err(resp) => return resp,
     };
-    let ranked = snap.book.companies();
+    let total = snap.book.companies_len();
+    let ranked = snap.book.companies_top(top);
     let mut w = JsonWriter::new();
     w.begin_object()
         .key("generation")
         .uint(snap.generation)
         .key("total")
-        .uint(ranked.len() as u64)
+        .uint(total as u64)
         .key("companies")
         .begin_array();
-    for (i, c) in ranked.iter().take(top).enumerate() {
+    for (i, c) in ranked.iter().enumerate() {
         write_company(&mut w, i + 1, c);
     }
     w.end_array().end_object();
@@ -791,7 +830,7 @@ fn company_events(ctx: &Ctx, name: &str) -> Response {
         .key("generation")
         .uint(snap.generation)
         .key("company")
-        .string(&score.company)
+        .string(score.company)
         .key("mrr")
         .float(score.mrr)
         .key("event_count")
@@ -799,7 +838,7 @@ fn company_events(ctx: &Ctx, name: &str) -> Response {
         .key("events")
         .begin_array();
     for (i, e) in events.iter().enumerate() {
-        write_event(&mut w, i + 1, e);
+        write_event(&mut w, i + 1, *e);
     }
     w.end_array().end_object();
     json(status::OK, snap.generation, w.finish())

@@ -15,7 +15,7 @@
 //! mutex-protected pointer clone (no reader holds the lock while
 //! serving).
 
-use etap::{LeadBook, SalesDriver, TrainedEtap};
+use etap::{BookHandle, LeadBook, SalesDriver, TrainedEtap};
 use etap_corpus::SyntheticDoc;
 use std::str::FromStr;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -26,7 +26,9 @@ pub struct LeadSnapshot {
     /// Monotonically increasing publish counter (1 = first snapshot).
     pub generation: u64,
     /// Frozen rankings: global, per-driver, per-company (Eq. 2 MRR).
-    pub book: LeadBook,
+    /// Either heap-owned (built in this process) or a zero-copy
+    /// `LEADS v2` mapping (warm-started from the generation store).
+    pub book: BookHandle,
     /// The trained system (shared across generations when only the
     /// scanned corpus changed, not the models).
     pub trained: Arc<TrainedEtap>,
@@ -40,7 +42,7 @@ impl LeadSnapshot {
         let book = trained.lead_book(docs);
         Self {
             generation,
-            book,
+            book: book.into(),
             trained,
         }
     }
@@ -59,7 +61,7 @@ impl LeadSnapshot {
         let book = LeadBook::build(trained.identify_events_parallel(docs, threads));
         Self {
             generation,
-            book,
+            book: book.into(),
             trained,
         }
     }
@@ -78,11 +80,11 @@ impl LeadSnapshot {
         generation: u64,
         threads: usize,
     ) -> Self {
-        let mut events = prev.book.events().to_vec();
+        let mut events = prev.book.events_owned();
         events.extend(prev.trained.identify_events_parallel(new_docs, threads));
         Self {
             generation,
-            book: LeadBook::build(events),
+            book: LeadBook::build(events).into(),
             trained: Arc::clone(&prev.trained),
         }
     }
@@ -178,7 +180,7 @@ mod tests {
         }];
         Arc::new(LeadSnapshot {
             generation,
-            book: LeadBook::build(events),
+            book: LeadBook::build(events).into(),
             trained,
         })
     }
@@ -192,7 +194,7 @@ mod tests {
         assert_eq!(superseded, 1);
         assert_eq!(cell.load().generation, 2);
         // The old Arc stays valid for in-flight readers.
-        assert_eq!(before.book.events()[0].snippet, "gen 1");
+        assert_eq!(before.book.top(1)[0].snippet(), "gen 1");
     }
 
     #[test]

@@ -6,14 +6,33 @@
 //!
 //! ```text
 //! <root>/
-//!   gen-3/
-//!     MANIFEST            ETAP GEN-MANIFEST v1 (written last)
-//!     events.leads        ETAP LEADS v1 — the ranked event book
-//!     model-000-<id>.model  ETAP MODEL v2 — one per trained driver,
-//!     model-001-<id>.model  numbered to preserve driver order
-//!   gen-4/
+//!   gen-3/                    text format (LEADS v1)
+//!     MANIFEST                ETAP GEN-MANIFEST (written last)
+//!     events.leads            ETAP LEADS v1 — the ranked event book
+//!     model-000-<id>.model    ETAP MODEL v2 — one per trained driver,
+//!     model-001-<id>.model    numbered to preserve driver order
+//!   gen-4/                    binary format (LEADS v2)
+//!     MANIFEST
+//!     book.index              ETAPBIN LEADS-IDX — rankings as refs
+//!     shards/
+//!       shard-00000.leads2    ETAPBIN LEADS — event records, one
+//!       shard-00001.leads2    shard per company-hash bucket
+//!     model-000-<id>.model
+//!   gen-5/
 //!     …
 //! ```
+//!
+//! Binary generations are **content-addressed**: before writing a
+//! payload file, its FNV + size are compared against the previous
+//! generation's manifest; an unchanged file is `hard_link`ed instead of
+//! rewritten (links survive pruning of the source directory — the inode
+//! lives until its last link drops). Since a clean shard's bytes are
+//! bit-identical under extend (see `etap::leads2`), an incremental
+//! publish writes only the dirty shards, the index, and the manifest.
+//!
+//! At load, binary payloads are opened as [`Arena`]s — mmap-backed on
+//! Linux — and served zero-copy through a `MappedBook`: warm start is
+//! O(mmap) + one checksum pass, never O(parse).
 //!
 //! ## Crash safety
 //!
@@ -31,21 +50,76 @@
 //! generation fails its manifest or codec checksum and the loader
 //! [falls back](GenerationStore::load_latest) to the newest generation
 //! that *does* validate. No partial state is ever served.
+//!
+//! ## Retention vs. live readers
+//!
+//! A server that mmaps a generation keeps serving it while `prune`
+//! might want to delete the directory. [`GenerationStore::pin`] marks
+//! the generation a live server in this process currently serves;
+//! `prune` deletes around it. (On Linux an unlinked mapping would stay
+//! readable anyway, but pinning also keeps the *directory* loadable so
+//! a concurrent warm start can't race into `ENOENT`.)
 
 use crate::snapshot::LeadSnapshot;
-use etap::{LeadBook, TrainedEtap};
-use etap_persist::{CodecError, Writer};
+use etap::leads2::{self, MappedBook};
+use etap::{BookHandle, LeadBook, TrainedEtap};
+use etap_persist::{open_arena, Arena, CodecError, Writer};
+use etap_runtime::perf::Stage;
+use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Codec kind of generation manifests.
 pub const MANIFEST_KIND: &str = "GEN-MANIFEST";
-/// Highest `GEN-MANIFEST` version this build reads/writes.
-pub const MANIFEST_VERSION: u32 = 1;
-/// The ranked-event file inside each generation.
+/// Highest `GEN-MANIFEST` version this build reads/writes (v2 adds the
+/// `format`/`shards` records for binary generations; v1 manifests
+/// still load).
+pub const MANIFEST_VERSION: u32 = 2;
+/// The ranked-event file inside each text-format generation.
 pub const EVENTS_FILE: &str = "events.leads";
+/// The ranking-index file inside each binary-format generation.
+pub const INDEX_FILE: &str = "book.index";
+/// Subdirectory holding binary shard files.
+pub const SHARD_DIR: &str = "shards";
+
+/// Perf stages for the persistence paths (no-ops unless `ETAP_PERF=1`);
+/// `persist.mmap` lives in `etap_persist::arena`.
+static STAGE_PUBLISH: Stage = Stage::new("persist.publish");
+static STAGE_LOAD: Stage = Stage::new("persist.load");
+
+/// On-disk representation of the lead book inside a generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeadsFormat {
+    /// `LEADS v1` text codec: greppable, parsed at load.
+    Text,
+    /// Sharded `LEADS v2` binary: mmap'd at load, served zero-copy.
+    Binary {
+        /// Number of company-hash shards (clamped to ≥ 1).
+        shards: u32,
+    },
+}
+
+/// What one publish actually touched — the observability payload behind
+/// the incremental-publish guarantee ("clean shards are linked, not
+/// rewritten").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// The sealed generation directory.
+    pub dir: PathBuf,
+    /// Payload files newly written (dirty shards, index, changed models).
+    pub files_written: u64,
+    /// Shard files among [`files_written`](Self::files_written) — the
+    /// dirty-shard count an incremental publish is judged by (always 0
+    /// for text-format publishes).
+    pub shards_written: u64,
+    /// Payload files hard-linked unchanged from the previous generation.
+    pub files_linked: u64,
+    /// Bytes of payload newly written (excludes linked files and the
+    /// manifest).
+    pub bytes_written: u64,
+}
 
 /// Why a stored generation could not be loaded.
 #[derive(Debug)]
@@ -83,6 +157,29 @@ impl From<CodecError> for StoreError {
     }
 }
 
+/// Pinned generations, keyed by canonicalized store root. Process-global
+/// rather than per-instance because the watch loop re-opens the store
+/// on every publish attempt — a pin taken by the serving path must
+/// survive those re-opens. One pin slot per root: pinning replaces.
+static PINNED: OnceLock<Mutex<HashMap<PathBuf, u64>>> = OnceLock::new();
+
+fn pinned_map() -> &'static Mutex<HashMap<PathBuf, u64>> {
+    PINNED.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn shard_file(sid: usize) -> String {
+    format!("{SHARD_DIR}/shard-{sid:05}.leads2")
+}
+
+fn shard_id(name: &str) -> Option<u32> {
+    name.strip_prefix(SHARD_DIR)?
+        .strip_prefix('/')?
+        .strip_prefix("shard-")?
+        .strip_suffix(".leads2")?
+        .parse()
+        .ok()
+}
+
 /// A directory of persisted snapshot generations.
 #[derive(Debug)]
 pub struct GenerationStore {
@@ -91,6 +188,9 @@ pub struct GenerationStore {
     /// newest generations so a long-running watch loop cannot fill the
     /// disk.
     retention: Option<usize>,
+    /// On-disk book format for generations this store *writes*; reads
+    /// auto-detect from each generation's manifest.
+    leads_format: LeadsFormat,
 }
 
 impl GenerationStore {
@@ -104,6 +204,7 @@ impl GenerationStore {
         Ok(Self {
             root,
             retention: None,
+            leads_format: LeadsFormat::Text,
         })
     }
 
@@ -113,6 +214,13 @@ impl GenerationStore {
     #[must_use]
     pub fn with_retention(mut self, keep: usize) -> Self {
         self.retention = Some(keep.max(1));
+        self
+    }
+
+    /// Choose the on-disk book format for future publishes.
+    #[must_use]
+    pub fn with_leads_format(mut self, format: LeadsFormat) -> Self {
+        self.leads_format = format;
         self
     }
 
@@ -128,19 +236,90 @@ impl GenerationStore {
         self.retention
     }
 
+    /// The format future publishes will use.
+    #[must_use]
+    pub fn leads_format(&self) -> LeadsFormat {
+        self.leads_format
+    }
+
     fn gen_dir(&self, generation: u64) -> PathBuf {
         self.root.join(format!("gen-{generation}"))
+    }
+
+    /// The identity of this store for the process-global pin table:
+    /// canonicalized so every re-open of the same directory shares the
+    /// pin slot.
+    fn pin_key(&self) -> PathBuf {
+        self.root.canonicalize().unwrap_or_else(|_| self.root.clone())
+    }
+
+    /// Mark `generation` as actively served: [`prune`](Self::prune) and
+    /// retention will delete around it until [`unpin`](Self::unpin) or
+    /// a newer pin replaces it. One pinned generation per store root,
+    /// process-wide.
+    pub fn pin(&self, generation: u64) {
+        pinned_map()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(self.pin_key(), generation);
+    }
+
+    /// Clear this store's pinned generation, if any.
+    pub fn unpin(&self) {
+        pinned_map()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.pin_key());
+    }
+
+    /// The currently pinned generation, if any.
+    #[must_use]
+    pub fn pinned(&self) -> Option<u64> {
+        pinned_map()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&self.pin_key())
+            .copied()
+    }
+
+    /// The newest visible generation other than `exclude`, with its
+    /// manifest's `name → (fnv, size)` map — the content-address table
+    /// incremental publishes link against. Any failure (no previous
+    /// generation, unreadable manifest) degrades to a full write.
+    fn link_base(&self, exclude: u64) -> Option<(PathBuf, HashMap<String, (u64, usize)>)> {
+        let newest = self
+            .generations()
+            .ok()?
+            .into_iter()
+            .filter(|&g| g != exclude)
+            .next_back()?;
+        let dir = self.gen_dir(newest);
+        let (_, records) =
+            etap_persist::read_file(&dir.join("MANIFEST"), MANIFEST_KIND, MANIFEST_VERSION).ok()?;
+        let mut map = HashMap::new();
+        for rec in &records {
+            if rec.tag() == "file" {
+                let name = rec.str(1).ok()?.to_string();
+                let fnv = u64::from_str_radix(rec.str(2).ok()?, 16).ok()?;
+                let size: usize = rec.parse(3).ok()?;
+                map.insert(name, (fnv, size));
+            }
+        }
+        Some((dir, map))
     }
 
     /// Persist one snapshot as generation `snapshot.generation`,
     /// following the crash-safety protocol (tmp dir → fsync'd files →
     /// manifest last → rename → root fsync). Republishing an existing
-    /// generation number replaces it atomically.
+    /// generation number replaces it atomically. Binary-format
+    /// publishes hard-link payload files whose bytes are unchanged from
+    /// the previous generation instead of rewriting them.
     ///
     /// # Errors
     /// Propagates filesystem errors; the store is left without a
     /// partially visible generation in every failure case.
-    pub fn publish(&self, snapshot: &LeadSnapshot) -> io::Result<PathBuf> {
+    pub fn publish(&self, snapshot: &LeadSnapshot) -> io::Result<PublishOutcome> {
+        let _t = STAGE_PUBLISH.scope();
         // Fault seam: lets chaos runs fail whole publishes before any
         // tmp directory exists (distinct from `persist.write`, which
         // fails individual file writes mid-publish).
@@ -153,29 +332,90 @@ impl GenerationStore {
         }
         std::fs::create_dir_all(&tmp_dir)?;
 
+        let link_base = self.link_base(generation);
+
         let mut manifest = Writer::new(MANIFEST_KIND, MANIFEST_VERSION);
         manifest.record(["generation", &generation.to_string()]);
         manifest.record(["window", &snapshot.trained.snippet_window().to_string()]);
-        manifest.record(["events", &snapshot.book.events().len().to_string()]);
-
-        let mut write_payload = |name: &str, contents: &str| -> io::Result<()> {
-            write_synced(&tmp_dir.join(name), contents)?;
-            manifest.record([
-                "file",
-                name,
-                &format!("{:016x}", etap_persist::fnv1a64(contents.as_bytes())),
-                &contents.len().to_string(),
-            ]);
-            Ok(())
-        };
-
-        write_payload(EVENTS_FILE, &etap::persist::book_to_string(&snapshot.book))?;
-        for (i, driver) in snapshot.trained.drivers.iter().enumerate() {
-            let name = format!("model-{i:03}-{}.model", driver.spec.driver.id());
-            write_payload(&name, &etap::persist::to_string(driver))?;
+        manifest.record(["events", &snapshot.book.len().to_string()]);
+        if let LeadsFormat::Binary { shards } = self.leads_format {
+            manifest.record(["format", "binary"]);
+            manifest.record(["shards", &shards.max(1).to_string()]);
         }
 
-        write_synced(&tmp_dir.join("MANIFEST"), &manifest.finish())?;
+        let mut outcome = PublishOutcome {
+            dir: final_dir.clone(),
+            files_written: 0,
+            shards_written: 0,
+            files_linked: 0,
+            bytes_written: 0,
+        };
+        let mut write_payload =
+            |name: &str, contents: &[u8], outcome: &mut PublishOutcome| -> io::Result<()> {
+                let fnv = etap_persist::fnv1a64(contents);
+                let dst = tmp_dir.join(name);
+                // Only shard files are content-address linked: they
+                // carry virtually all the bytes, and sharing an inode
+                // couples the linked generations' fates under in-place
+                // corruption — acceptable for checksummed bulk shards,
+                // not worth it for the small manifest-adjacent files
+                // whose independence the fallback story leans on.
+                let linked = shard_id(name).is_some()
+                    && link_base.as_ref().is_some_and(|(prev_dir, map)| {
+                        map.get(name) == Some(&(fnv, contents.len()))
+                            && std::fs::hard_link(prev_dir.join(name), &dst).is_ok()
+                    });
+                if linked {
+                    outcome.files_linked += 1;
+                } else {
+                    write_synced(&dst, contents)?;
+                    outcome.files_written += 1;
+                    outcome.bytes_written += contents.len() as u64;
+                }
+                manifest.record([
+                    "file",
+                    name,
+                    &format!("{fnv:016x}"),
+                    &contents.len().to_string(),
+                ]);
+                Ok(())
+            };
+
+        match self.leads_format {
+            LeadsFormat::Text => {
+                let events = snapshot.book.events_owned();
+                write_payload(
+                    EVENTS_FILE,
+                    etap::persist::events_to_string(&events).as_bytes(),
+                    &mut outcome,
+                )?;
+            }
+            LeadsFormat::Binary { shards } => {
+                // Encode from the owned book when available; a mapped
+                // book republishing under a different shard count first
+                // materializes (republish-in-place links everything, so
+                // the cost only occurs on genuine re-encodes).
+                let encoded = match snapshot.book.as_owned() {
+                    Some(book) => leads2::encode_book(book, shards),
+                    None => {
+                        leads2::encode_book(&LeadBook::build(snapshot.book.events_owned()), shards)
+                    }
+                };
+                std::fs::create_dir_all(tmp_dir.join(SHARD_DIR))?;
+                write_payload(INDEX_FILE, &encoded.index, &mut outcome)?;
+                for (sid, bytes) in encoded.shards.iter().enumerate() {
+                    let before = outcome.files_written;
+                    write_payload(&shard_file(sid), bytes, &mut outcome)?;
+                    outcome.shards_written += outcome.files_written - before;
+                }
+            }
+        }
+        for (i, driver) in snapshot.trained.drivers.iter().enumerate() {
+            let name = format!("model-{i:03}-{}.model", driver.spec.driver.id());
+            write_payload(&name, etap::persist::to_string(driver).as_bytes(), &mut outcome)?;
+        }
+
+        write_synced(&tmp_dir.join("MANIFEST"), manifest.finish().as_bytes())?;
         if final_dir.exists() {
             std::fs::remove_dir_all(&final_dir)?;
         }
@@ -186,7 +426,7 @@ impl GenerationStore {
         if let Some(keep) = self.retention {
             let _ = self.prune(keep);
         }
-        Ok(final_dir)
+        Ok(outcome)
     }
 
     /// Generation numbers currently visible (sorted ascending).
@@ -215,12 +455,16 @@ impl GenerationStore {
 
     /// Load and fully validate one generation: the manifest must parse,
     /// list each file exactly once with matching size and checksum, and
-    /// every payload file must itself decode.
+    /// every payload file must itself decode. Text generations parse
+    /// into an owned book; binary generations mmap into a zero-copy
+    /// `MappedBook` (the manifest FNV pass over the arenas is the
+    /// integrity check — no parse happens).
     ///
     /// # Errors
     /// See [`StoreError`]; any failure means this generation is not
     /// servable (callers typically fall back to an older one).
     pub fn load(&self, generation: u64) -> Result<LeadSnapshot, StoreError> {
+        let _t = STAGE_LOAD.scope();
         // Fault seam: chaos runs inject read failures here, exercising
         // the load_latest fall-back-to-older-generation path.
         etap_runtime::fault::check_io("store.load")?;
@@ -234,15 +478,19 @@ impl GenerationStore {
         let mut stated_generation: Option<u64> = None;
         let mut window: Option<usize> = None;
         let mut event_count: Option<usize> = None;
-        let mut files: Vec<String> = Vec::new();
+        let mut format: Option<String> = None;
+        let mut shard_count: Option<u32> = None;
+        let mut files: Vec<(String, u64, usize)> = Vec::new();
         for rec in &records {
             match rec.tag() {
                 "generation" => stated_generation = Some(rec.parse(1)?),
                 "window" => window = Some(rec.parse(1)?),
                 "events" => event_count = Some(rec.parse(1)?),
+                "format" => format = Some(rec.str(1)?.to_string()),
+                "shards" => shard_count = Some(rec.parse(1)?),
                 "file" => {
                     let name = rec.str(1)?.to_string();
-                    if files.contains(&name) {
+                    if files.iter().any(|(n, _, _)| *n == name) {
                         return Err(StoreError::Invalid(format!(
                             "manifest lists {name:?} twice"
                         )));
@@ -250,20 +498,7 @@ impl GenerationStore {
                     let checksum = u64::from_str_radix(rec.str(2)?, 16)
                         .map_err(|_| rec.malformed("bad checksum field"))?;
                     let size: usize = rec.parse(3)?;
-                    let bytes = std::fs::read(dir.join(&name))?;
-                    if bytes.len() != size {
-                        return Err(StoreError::Invalid(format!(
-                            "{name}: manifest says {size} bytes, file has {}",
-                            bytes.len()
-                        )));
-                    }
-                    let computed = etap_persist::fnv1a64(&bytes);
-                    if computed != checksum {
-                        return Err(StoreError::Invalid(format!(
-                            "{name}: checksum mismatch ({checksum:016x} vs {computed:016x})"
-                        )));
-                    }
-                    files.push(name);
+                    files.push((name, checksum, size));
                 }
                 other => {
                     return Err(StoreError::Invalid(format!(
@@ -281,20 +516,56 @@ impl GenerationStore {
         }
         let window = window.ok_or_else(|| missing("window"))?;
         let event_count = event_count.ok_or_else(|| missing("events"))?;
-        if !files.iter().any(|f| f == EVENTS_FILE) {
-            return Err(missing("events.leads file"));
-        }
+        let binary = match format.as_deref() {
+            None | Some("text") => false,
+            Some("binary") => true,
+            Some(other) => {
+                return Err(StoreError::Invalid(format!(
+                    "unknown leads format {other:?}"
+                )))
+            }
+        };
 
-        // Payload files load in manifest order, which preserves the
-        // driver order the snapshot was published with.
-        let mut book: Option<LeadBook> = None;
+        // Verify + decode each payload in manifest order (which
+        // preserves the driver order the snapshot was published with).
+        let verify = |name: &str, bytes: &[u8], checksum: u64, size: usize| {
+            if bytes.len() != size {
+                return Err(StoreError::Invalid(format!(
+                    "{name}: manifest says {size} bytes, file has {}",
+                    bytes.len()
+                )));
+            }
+            let computed = etap_persist::fnv1a64(bytes);
+            if computed != checksum {
+                return Err(StoreError::Invalid(format!(
+                    "{name}: checksum mismatch ({checksum:016x} vs {computed:016x})"
+                )));
+            }
+            Ok(())
+        };
         let mut drivers = Vec::new();
-        for name in &files {
+        let mut text_book: Option<LeadBook> = None;
+        let mut index_arena: Option<Arc<Arena>> = None;
+        let mut shard_arenas: Vec<(u32, Arc<Arena>)> = Vec::new();
+        for (name, checksum, size) in &files {
             let path = dir.join(name);
-            if name == EVENTS_FILE {
-                let text = std::fs::read_to_string(&path)?;
-                book = Some(etap::persist::book_from_str(&text)?);
+            if binary && (name == INDEX_FILE || shard_id(name).is_some()) {
+                let arena = Arc::new(open_arena(&path)?);
+                verify(name, arena.bytes(), *checksum, *size)?;
+                if name == INDEX_FILE {
+                    index_arena = Some(arena);
+                } else if let Some(sid) = shard_id(name) {
+                    shard_arenas.push((sid, arena));
+                }
+            } else if !binary && name == EVENTS_FILE {
+                let bytes = std::fs::read(&path)?;
+                verify(name, &bytes, *checksum, *size)?;
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| StoreError::Invalid(format!("{name}: not UTF-8")))?;
+                text_book = Some(etap::persist::book_from_str(&text)?);
             } else if name.ends_with(".model") {
+                let bytes = std::fs::read(&path)?;
+                verify(name, &bytes, *checksum, *size)?;
                 drivers.push(etap::persist::load(&path).map_err(CodecError::Io)?);
             } else {
                 return Err(StoreError::Invalid(format!(
@@ -302,11 +573,31 @@ impl GenerationStore {
                 )));
             }
         }
-        let book = book.ok_or_else(|| missing("events.leads file"))?;
-        if book.events().len() != event_count {
+
+        let book: BookHandle = if binary {
+            let n = shard_count.ok_or_else(|| missing("shards"))?.max(1) as usize;
+            let index = index_arena.ok_or_else(|| missing("book.index file"))?;
+            shard_arenas.sort_by_key(|(sid, _)| *sid);
+            if shard_arenas.len() != n
+                || shard_arenas
+                    .iter()
+                    .enumerate()
+                    .any(|(i, (sid, _))| *sid != i as u32)
+            {
+                return Err(StoreError::Invalid(format!(
+                    "manifest lists {} shard files, expected shards 0..{n}",
+                    shard_arenas.len()
+                )));
+            }
+            let shards = shard_arenas.into_iter().map(|(_, a)| a).collect();
+            BookHandle::Mapped(Arc::new(MappedBook::open(index, shards)?))
+        } else {
+            text_book.ok_or_else(|| missing("events.leads file"))?.into()
+        };
+        if book.len() != event_count {
             return Err(StoreError::Invalid(format!(
                 "manifest says {event_count} events, book has {}",
-                book.events().len()
+                book.len()
             )));
         }
 
@@ -340,9 +631,11 @@ impl GenerationStore {
 
     /// Retention: delete the oldest generations beyond the `keep`
     /// newest (by generation number), plus any stale `.tmp` directories
-    /// from interrupted publishes. Returns the deleted generation
-    /// numbers. `keep == 0` is treated as 1 — the store never deletes
-    /// its only warm-start source.
+    /// from interrupted publishes. A [`pin`](Self::pin)ned generation is
+    /// never deleted, whatever its age — the serving path pins what it
+    /// currently has mapped. Returns the deleted generation numbers.
+    /// `keep == 0` is treated as 1 — the store never deletes its only
+    /// warm-start source.
     ///
     /// # Errors
     /// Propagates filesystem errors.
@@ -355,14 +648,20 @@ impl GenerationStore {
             }
         }
         let keep = keep.max(1);
+        let pinned = self.pinned();
         let generations = self.generations()?;
         let mut removed = Vec::new();
         if generations.len() > keep {
             for &generation in &generations[..generations.len() - keep] {
+                if Some(generation) == pinned {
+                    continue;
+                }
                 std::fs::remove_dir_all(self.gen_dir(generation))?;
                 removed.push(generation);
             }
-            etap_persist::sync_dir(&self.root);
+            if !removed.is_empty() {
+                etap_persist::sync_dir(&self.root);
+            }
         }
         Ok(removed)
     }
@@ -370,13 +669,13 @@ impl GenerationStore {
 
 /// Write + fsync one file (no rename dance needed: the whole directory
 /// is renamed into visibility afterwards).
-fn write_synced(path: &Path, contents: &str) -> io::Result<()> {
+fn write_synced(path: &Path, contents: &[u8]) -> io::Result<()> {
     use std::io::Write as _;
     // Same seam name as etap_persist::write_atomic: `persist.write`
     // covers every durable file write in the publish path.
     etap_runtime::fault::check_io("persist.write")?;
     let mut f = std::fs::File::create(path)?;
-    f.write_all(contents.as_bytes())?;
+    f.write_all(contents)?;
     f.sync_all()
 }
 
@@ -408,7 +707,30 @@ mod tests {
             .collect();
         LeadSnapshot {
             generation,
-            book: LeadBook::build(events),
+            book: LeadBook::build(events).into(),
+            trained: Arc::new(TrainedEtap::from_drivers(Vec::new(), 3)),
+        }
+    }
+
+    /// A snapshot whose extra events all hit one company (one shard),
+    /// layered on top of `snapshot(1, base)`'s events — the base events
+    /// are byte-identical to generation 1's, so clean shards can link.
+    fn extended_snapshot(generation: u64, base: usize, extra: usize) -> LeadSnapshot {
+        let mut events = snapshot(1, base).book.events_owned();
+        for i in 0..extra {
+            events.push(TriggerEvent {
+                driver: SalesDriver::MergersAcquisitions,
+                doc_id: 10_000 + i,
+                url: format!("http://example/x{i}"),
+                snippet: format!("extension snippet {i}"),
+                score: 0.4 + (i as f64) / 100.0,
+                companies: vec!["Hotspot Inc".to_string()],
+                doc_date: (2005, 4, 2),
+            });
+        }
+        LeadSnapshot {
+            generation,
+            book: LeadBook::build(events).into(),
             trained: Arc::new(TrainedEtap::from_drivers(Vec::new(), 3)),
         }
     }
@@ -421,6 +743,122 @@ mod tests {
         assert_eq!(loaded.generation, 1);
         assert_eq!(loaded.book, snapshot(1, 5).book);
         assert_eq!(loaded.trained.snippet_window(), 3);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn binary_publish_roundtrips_and_maps() {
+        let store =
+            temp_store("binround").with_leads_format(LeadsFormat::Binary { shards: 4 });
+        let outcome = store.publish(&snapshot(1, 12)).expect("publish");
+        // Full publish, nothing to link: index + 4 shards.
+        assert_eq!(outcome.files_linked, 0);
+        assert_eq!(outcome.files_written, 5);
+        assert!(store.root().join("gen-1").join(INDEX_FILE).exists());
+
+        let loaded = store.load(1).expect("load");
+        assert!(loaded.book.is_mapped(), "binary load must map, not parse");
+        assert_eq!(loaded.book, snapshot(1, 12).book);
+        assert_eq!(loaded.trained.snippet_window(), 3);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn incremental_binary_publish_links_clean_shards() {
+        let store =
+            temp_store("binlink").with_leads_format(LeadsFormat::Binary { shards: 8 });
+        store.publish(&snapshot(1, 40)).expect("publish 1");
+        let incremental = store.publish(&extended_snapshot(2, 40, 6)).expect("publish 2");
+        assert!(
+            incremental.files_linked > 0,
+            "clean shards must be hard-linked: {incremental:?}"
+        );
+
+        // The same snapshot published cold (no previous generation to
+        // link against) writes every byte — the incremental publish
+        // must write strictly fewer.
+        let cold_store =
+            temp_store("binlink_cold").with_leads_format(LeadsFormat::Binary { shards: 8 });
+        let full = cold_store.publish(&extended_snapshot(2, 40, 6)).expect("cold");
+        assert_eq!(full.files_linked, 0);
+        assert!(
+            incremental.bytes_written < full.bytes_written,
+            "incremental {} vs full {}",
+            incremental.bytes_written,
+            full.bytes_written
+        );
+        assert!(incremental.files_written < full.files_written);
+
+        // And the linked generation still loads + matches.
+        let loaded = store.load(2).expect("load 2");
+        assert_eq!(loaded.book, extended_snapshot(2, 40, 6).book);
+        let _ = std::fs::remove_dir_all(store.root());
+        let _ = std::fs::remove_dir_all(cold_store.root());
+    }
+
+    #[test]
+    fn linked_files_survive_pruning_the_source_generation() {
+        let store =
+            temp_store("linksurvive").with_leads_format(LeadsFormat::Binary { shards: 4 });
+        store.publish(&snapshot(1, 20)).expect("publish 1");
+        store.publish(&extended_snapshot(2, 20, 3)).expect("publish 2");
+        // Deleting gen-1 must not corrupt gen-2's hard-linked files.
+        let removed = store.prune(1).expect("prune");
+        assert_eq!(removed, vec![1]);
+        let loaded = store.load(2).expect("load after prune");
+        assert_eq!(loaded.book, extended_snapshot(2, 20, 3).book);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn text_and_binary_generations_agree() {
+        let store = temp_store("parity");
+        store.publish(&snapshot(1, 9)).expect("text publish");
+        let binary = GenerationStore::open(store.root())
+            .expect("reopen")
+            .with_leads_format(LeadsFormat::Binary { shards: 4 });
+        // Same book content, re-published under the binary format.
+        let mut republished = snapshot(1, 9);
+        republished.generation = 2;
+        binary.publish(&republished).expect("binary publish");
+
+        let v1 = store.load(1).expect("load v1");
+        let v2 = store.load(2).expect("load v2");
+        assert!(!v1.book.is_mapped() && v2.book.is_mapped());
+        // Byte-for-byte agreement once both are materialized.
+        assert_eq!(
+            etap::persist::events_to_string(&v1.book.events_owned()),
+            etap::persist::events_to_string(&v2.book.events_owned()),
+        );
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_binary_arena_fails_cleanly() {
+        let store =
+            temp_store("bincorrupt").with_leads_format(LeadsFormat::Binary { shards: 2 });
+        store.publish(&snapshot(1, 10)).expect("publish");
+
+        // Bit-flip inside a shard: manifest checksum catches it.
+        let victim = store.root().join("gen-1").join(shard_file(0));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&victim, &bytes).unwrap();
+        match store.load(1) {
+            Err(StoreError::Invalid(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected Invalid(checksum), got {other:?}"),
+        }
+
+        // Truncated index: size mismatch, typed error, no panic.
+        store.publish(&snapshot(2, 10)).expect("publish 2");
+        let index = store.root().join("gen-2").join(INDEX_FILE);
+        let bytes = std::fs::read(&index).unwrap();
+        std::fs::write(&index, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(store.load(2), Err(StoreError::Invalid(_))));
+
+        // load_latest falls back past both corrupt generations.
+        assert!(store.load_latest().expect("scan").is_none());
         let _ = std::fs::remove_dir_all(store.root());
     }
 
@@ -519,6 +957,73 @@ mod tests {
             store.publish(&snapshot(g, 2)).expect("publish");
         }
         assert_eq!(store.generations().unwrap(), vec![4, 5]);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn pinned_generation_survives_prune_and_retention() {
+        let store = temp_store("pinprune").with_retention(2);
+        store.publish(&snapshot(1, 2)).expect("publish 1");
+        // The serving path pins what it has mapped.
+        store.pin(1);
+        for g in 2..=5 {
+            store.publish(&snapshot(g, 2)).expect("publish");
+        }
+        // Retention kept gen-1 alive through four auto-prunes.
+        assert_eq!(store.generations().unwrap(), vec![1, 4, 5]);
+        assert!(store.load(1).is_ok(), "pinned generation must stay loadable");
+
+        // An explicit prune skips it too…
+        let removed = store.prune(1).expect("prune");
+        assert_eq!(removed, vec![4]);
+        assert_eq!(store.generations().unwrap(), vec![1, 5]);
+
+        // …until the pin moves on, after which it is reclaimed.
+        store.pin(5);
+        let removed = store.prune(1).expect("prune after re-pin");
+        assert_eq!(removed, vec![1]);
+        assert_eq!(store.generations().unwrap(), vec![5]);
+        store.unpin();
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn pin_survives_store_reopen_kill_prune_read_interleaving() {
+        // Regression for the retention-prune race: a "server" holds
+        // generation 1 mapped while a watch loop — which re-opens the
+        // store on every attempt, as after a crash/restart — publishes
+        // and aggressively prunes. The mapped generation must stay
+        // readable throughout.
+        let store = temp_store("pinrace").with_leads_format(LeadsFormat::Binary { shards: 2 });
+        store.publish(&snapshot(1, 6)).expect("publish 1");
+        let served = store.load(1).expect("server load");
+        store.pin(served.generation);
+
+        for g in 2..=6 {
+            // Fresh store handle per cycle (the watch loop's re-open),
+            // with retention 1: without the pin, gen-1 dies on the
+            // first publish.
+            let watch = GenerationStore::open(store.root())
+                .expect("reopen")
+                .with_retention(1)
+                .with_leads_format(LeadsFormat::Binary { shards: 2 });
+            watch.publish(&snapshot(g, 6)).expect("watch publish");
+        }
+        assert!(
+            store.generations().unwrap().contains(&1),
+            "pinned generation deleted by concurrent prune"
+        );
+        // The kill-prune-read interleaving: a cold reader (new process
+        // after kill -9) can still load the pinned generation.
+        let reread = GenerationStore::open(store.root()).expect("cold open");
+        assert!(reread.load(1).is_ok());
+        // Old snapshot still serves from its mapping.
+        assert_eq!(served.book.top(3).len(), 3);
+
+        store.unpin();
+        let reopened = GenerationStore::open(store.root()).expect("reopen");
+        reopened.prune(1).expect("final prune");
+        assert_eq!(reopened.generations().unwrap(), vec![6]);
         let _ = std::fs::remove_dir_all(store.root());
     }
 

@@ -248,8 +248,8 @@ fn run_cycle(
                         .iter()
                         .map(|d| {
                             let driver = d.spec.driver;
-                            let after = snap.book.top_for(driver, usize::MAX).len();
-                            let before = prev.book.top_for(driver, usize::MAX).len();
+                            let after = snap.book.driver_total(driver);
+                            let before = prev.book.driver_total(driver);
                             (after.saturating_sub(before)) as f64 / batch
                         })
                         .collect();
@@ -266,11 +266,13 @@ fn run_cycle(
     };
 
     // publish — seal on disk first; swap live only on success.
-    {
+    let shards_written = {
         let _t = STAGE_PUBLISH.scope();
         let snap = Arc::clone(&next);
         let root = store.root().to_path_buf();
         let retention = store.retention();
+        let format = store.leads_format();
+        let serving = base.generation;
         supervisor
             .stage("publish", timeout, move || {
                 // Re-open per attempt: the stage closure must own its
@@ -280,12 +282,24 @@ fn run_cycle(
                     Some(keep) => store.with_retention(keep),
                     None => store,
                 };
-                store.publish(&snap).map_err(|e| e.to_string())?;
-                Ok(())
+                let store = store.with_leads_format(format);
+                // The generation still being served must survive the
+                // retention prune this publish triggers (the pin table
+                // is process-global, so it holds across the re-open).
+                store.pin(serving);
+                let outcome = store.publish(&snap).map_err(|e| e.to_string())?;
+                Ok(outcome.shards_written)
             })
-            .map_err(|e| ("publish", e))?;
-    }
+            .map_err(|e| ("publish", e))?
+    };
+    server
+        .metrics()
+        .shards_dirty_total
+        .fetch_add(shards_written, Ordering::Relaxed);
     server.publish_snapshot(next);
+    // The pin follows the served generation forward, releasing the old
+    // one to the next prune.
+    store.pin(generation);
     Ok(())
 }
 

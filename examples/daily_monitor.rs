@@ -59,7 +59,7 @@ fn main() {
         "[day 1] serving generation 1 at http://{} ({} events, {} companies)",
         server.addr(),
         gen1.book.len(),
-        gen1.book.companies().len()
+        gen1.book.companies_len()
     );
 
     let week = WatchConfig {
@@ -131,7 +131,7 @@ fn digest(server: &etap_repro::serve::ServerHandle, label: &str) {
         snapshot.generation,
         snapshot.book.len()
     );
-    let ranked = rank::rank_by_score(snapshot.book.events().to_vec());
+    let ranked = rank::rank_by_score(snapshot.book.events_owned());
     for e in ranked.iter().take(3) {
         println!("  [{:.3}] ({}) {}", e.score, e.driver, clip(&e.snippet, 92));
     }

@@ -302,4 +302,97 @@ echo "chaos convergence: healthy after faults, generation ${chaos_gen_a} -> ${ch
 cargo run -q --release -p etap-bench --bin bench_watch
 
 echo
-echo "OK: verify passed (1t ${d1} docs/s, speedup ${s2}x/${s4}x on ${cores} core(s), shed_rate ${shed_rate})"
+echo "== scale: streamed corpus, sharded LEADS v2, mmap warm start =="
+scale_store=$(mktemp -d)
+scale_cleanup() {
+    rm -rf "$scale_store"
+}
+trap 'cleanup; chaos_cleanup; scale_cleanup' EXIT
+
+# bench_scale streams the corpus (never materializing it), publishes the
+# same book as LEADS v1 text and sharded LEADS v2 binary, republishes a
+# small extension incrementally, and measures parse-vs-mmap warm starts.
+# CI-bounded to 100k docs; override with ETAP_SCALE_DOCS for the full
+# million-document run recorded in the committed BENCH_scale.json.
+ETAP_SCALE_DOCS="${ETAP_SCALE_DOCS:-100000}" \
+    cargo run -q --release -p etap-bench --bin bench_scale
+
+scale_fail=0
+sgate() { # sgate <label> <value> <floor>
+    if [ "$(awk -v v="$2" -v f="$3" 'BEGIN { print (v >= f) ? 1 : 0 }')" -ne 1 ]; then
+        echo "FAIL: $1 = $2 (floor $3)" >&2
+        scale_fail=1
+    else
+        echo "  ok: $1 = $2 (floor $3)"
+    fi
+}
+warm_speedup=$(jnum BENCH_scale.json warm_speedup)
+v2_bytes=$(jnum BENCH_scale.json v2_bytes)
+extend_bytes=$(jnum BENCH_scale.json extend_bytes)
+n_shards=$(jnum BENCH_scale.json shards)
+dirty_shards=$(jnum BENCH_scale.json extend_dirty_shards)
+linked_files=$(jnum BENCH_scale.json extend_linked_files)
+
+# The two acceptance gates: mmap warm start >= 10x the parsed one, and
+# the dirty-shard incremental publish writing strictly fewer bytes (and
+# rewriting strictly fewer shards) than the full rebuild it replaces.
+sgate "warm_speedup (mmap vs parse)" "$warm_speedup" 10
+if [ "$(awk -v e="$extend_bytes" -v f="$v2_bytes" 'BEGIN { print (e < f) ? 1 : 0 }')" -ne 1 ]; then
+    echo "FAIL: incremental publish wrote ${extend_bytes} B >= full publish ${v2_bytes} B" >&2
+    scale_fail=1
+else
+    echo "  ok: incremental publish ${extend_bytes} B < full publish ${v2_bytes} B"
+fi
+if [ "$dirty_shards" -ge "$n_shards" ] || [ "$linked_files" -lt 1 ]; then
+    echo "FAIL: extend dirtied ${dirty_shards}/${n_shards} shards (${linked_files} linked)" >&2
+    scale_fail=1
+else
+    echo "  ok: extend rewrote ${dirty_shards}/${n_shards} shards, hard-linked ${linked_files} clean"
+fi
+if [ "$scale_fail" -ne 0 ]; then
+    echo "FAIL: scale gate (see above)" >&2
+    exit 1
+fi
+
+# End to end across formats: the same crawl published as v1 text and
+# re-published as sharded v2 must serve byte-identical /leads — across
+# a kill -9 and an mmap-backed warm restart.
+cargo run -q --release --bin etap-cli -- \
+    publish --store "$scale_store" --models "$smoke_models" --docs 120 >/dev/null
+cargo run -q --release --bin etap-cli -- \
+    publish --store "$scale_store" --models "$smoke_models" --docs 120 \
+    --format v2 --shards 8 >/dev/null
+
+old_store_dir=$store_dir
+store_dir=$scale_store
+boot_store "$smoke_log"
+scale_leads_v2=$(curl -fsS "$base/leads?top=100")
+scale_gen=$(curl -fsS "$base/healthz" | sed -n 's/.*"generation": \([0-9]*\).*/\1/p')
+scale_mmap=$(curl -fsS "$base/metrics" | sed -n 's/^etap_mmap_generations \([0-9]*\)$/\1/p')
+[ "$scale_gen" = "2" ] \
+    || { echo "FAIL: scale warm start served generation ${scale_gen}, expected 2" >&2; exit 1; }
+[ "$scale_mmap" = "1" ] \
+    || { echo "FAIL: v2 warm start is not serving from an mmap (etap_mmap_generations=${scale_mmap})" >&2; exit 1; }
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+boot_store "$smoke_log"
+scale_leads_again=$(curl -fsS "$base/leads?top=100")
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+store_dir=$old_store_dir
+[ "$scale_leads_v2" = "$scale_leads_again" ] \
+    || { echo "FAIL: /leads differs across kill -9 + mmap warm restart" >&2; exit 1; }
+
+# Byte parity v1 vs v2: gen 1 (text) and gen 2 (binary) hold the same
+# crawl, so the CLI multiset diff must be empty.
+cargo run -q --release --bin etap-cli -- \
+    diff --store "$scale_store" --from 1 --to 2 \
+    | grep -q "(+0 / -0)" \
+    || { echo "FAIL: v1 and v2 generations of the same crawl disagree" >&2; exit 1; }
+echo "scale: v1/v2 byte parity, mmap warm start survives kill -9 (generation ${scale_gen})"
+
+echo
+echo "OK: verify passed (1t ${d1} docs/s, speedup ${s2}x/${s4}x on ${cores} core(s), shed_rate ${shed_rate}, warm_speedup ${warm_speedup}x)"

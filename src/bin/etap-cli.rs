@@ -9,6 +9,7 @@
 //! etap-cli serve --models models/ [--store leads/] [--addr 127.0.0.1:8787]
 //! etap-cli watch --store leads/ [--models models/] [--cycles N] [--interval-ms 1000]
 //! etap-cli publish --models models/ --store leads/ [--docs 300] [--seed 7] [--extend]
+//!                  [--format v1|v2] [--shards 16]
 //! etap-cli generations --store leads/
 //! etap-cli diff --store leads/ [--from N] [--to M]
 //! ```
@@ -378,7 +379,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
                         "warm start from generation {} ({} events, {} companies)",
                         snapshot.generation,
                         snapshot.book.len(),
-                        snapshot.book.companies().len()
+                        snapshot.book.companies_len()
                     );
                     Some(Arc::new(snapshot))
                 }
@@ -404,7 +405,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
             eprintln!(
                 "snapshot ready: {} events, {} companies",
                 snapshot.book.len(),
-                snapshot.book.companies().len()
+                snapshot.book.companies_len()
             );
             snapshot
         }
@@ -556,6 +557,20 @@ fn cmd_publish(opts: &Opts) -> Result<(), CliError> {
     use std::sync::Arc;
 
     let store = open_store(opts)?;
+    // `--format v2` seals the book as sharded binary `LEADS v2`
+    // (mmap'd, zero-copy at load); v1 text stays the default.
+    let store = match opts.get("format") {
+        None | Some("v1") | Some("text") => store,
+        Some("v2") | Some("binary") => {
+            let shards = opts.usize_or("shards", 16).max(1) as u32;
+            store.with_leads_format(etap_repro::serve::LeadsFormat::Binary { shards })
+        }
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown --format {other:?} (use v1|v2)"
+            )))
+        }
+    };
     let keep = opts.usize_or("keep", 4);
     let newest_valid = store
         .load_latest()
@@ -592,15 +607,21 @@ fn cmd_publish(opts: &Opts) -> Result<(), CliError> {
         LeadSnapshot::build(trained, crawl.docs(), next_generation)
     };
 
-    let dir = store.publish(&snapshot).map_err(|e| e.to_string())?;
+    let outcome = store.publish(&snapshot).map_err(|e| e.to_string())?;
     let removed = store.prune(keep).map_err(|e| e.to_string())?;
     println!(
         "published generation {} ({} events, {} companies) to {}",
         snapshot.generation,
         snapshot.book.len(),
-        snapshot.book.companies().len(),
-        dir.display()
+        snapshot.book.companies_len(),
+        outcome.dir.display()
     );
+    if outcome.files_linked > 0 {
+        eprintln!(
+            "incremental publish: {} file(s) written ({} bytes), {} linked unchanged",
+            outcome.files_written, outcome.bytes_written, outcome.files_linked
+        );
+    }
     for generation in removed {
         eprintln!("pruned generation {generation}");
     }
@@ -620,7 +641,7 @@ fn cmd_generations(opts: &Opts) -> Result<(), CliError> {
             Ok(snapshot) => println!(
                 "{generation:<12} {:>8} {:>10}  valid",
                 snapshot.book.len(),
-                snapshot.book.companies().len()
+                snapshot.book.companies_len()
             ),
             Err(e) => println!("{generation:<12} {:>8} {:>10}  INVALID: {e}", "-", "-"),
         }
@@ -647,10 +668,14 @@ fn cmd_diff(opts: &Opts) -> Result<(), CliError> {
     let newer = store.load(to).map_err(store_err)?;
 
     // Events carry no identity beyond their content, so the diff is a
-    // multiset difference over the full event value.
-    let mut remaining: Vec<&etap_repro::TriggerEvent> = older.book.events().iter().collect();
+    // multiset difference over the full event value. `events_owned`
+    // materializes mapped (v2) books, so v1 and v2 generations diff
+    // uniformly.
+    let older_events = older.book.events_owned();
+    let newer_events = newer.book.events_owned();
+    let mut remaining: Vec<&etap_repro::TriggerEvent> = older_events.iter().collect();
     let mut added = Vec::new();
-    for event in newer.book.events() {
+    for event in &newer_events {
         match remaining.iter().position(|e| *e == event) {
             Some(i) => {
                 remaining.swap_remove(i);

@@ -244,6 +244,114 @@ fn publish_generations_diff_workflow() {
 }
 
 #[test]
+fn v1_and_v2_generations_of_same_crawl_diff_to_zero() {
+    let models = temp_model_dir("fmt_models");
+    let store = temp_model_dir("fmt_store");
+
+    let out = cli()
+        .args([
+            "train",
+            "--out",
+            models.to_str().unwrap(),
+            "--docs",
+            "900",
+            "--driver",
+            "cim",
+        ])
+        .output()
+        .expect("run train");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Generation 1: the same crawl in LEADS v1 text.
+    let out = cli()
+        .args([
+            "publish",
+            "--store",
+            store.to_str().unwrap(),
+            "--models",
+            models.to_str().unwrap(),
+            "--docs",
+            "80",
+        ])
+        .output()
+        .expect("run publish v1");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(store.join("gen-1").join("events.leads").exists());
+
+    // Generation 2: identical crawl (same docs, same default seed)
+    // re-published as sharded LEADS v2 binary.
+    let out = cli()
+        .args([
+            "publish",
+            "--store",
+            store.to_str().unwrap(),
+            "--models",
+            models.to_str().unwrap(),
+            "--docs",
+            "80",
+            "--format",
+            "v2",
+            "--shards",
+            "8",
+        ])
+        .output()
+        .expect("run publish v2");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("published generation 2"),
+        "unexpected v2 publish output: {stdout}"
+    );
+    assert!(store.join("gen-2").join("book.index").exists());
+    assert!(store.join("gen-2").join("shards").is_dir());
+
+    // Both formats are readable side by side and hold the exact same
+    // multiset of events: the migration contract.
+    let out = cli()
+        .args(["generations", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run generations");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let valid_rows = stdout.lines().filter(|l| l.ends_with("valid")).count();
+    assert_eq!(valid_rows, 2, "expected 2 valid generations:\n{stdout}");
+
+    let out = cli()
+        .args(["diff", "--store", store.to_str().unwrap()])
+        .output()
+        .expect("run diff");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let summary = stdout
+        .lines()
+        .find(|l| l.starts_with("gen 1 → gen 2:"))
+        .unwrap_or_else(|| panic!("no diff summary in: {stdout}"));
+    assert!(
+        summary.ends_with("(+0 / -0)"),
+        "v1 and v2 of the same crawl must agree byte-for-byte: {summary}"
+    );
+
+    let _ = std::fs::remove_dir_all(&models);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
 fn exit_codes_classify_usage_corruption_and_transient_io() {
     // Usage errors (unknown command, missing flag) exit 2.
     let out = cli().arg("frobnicate").output().expect("run");

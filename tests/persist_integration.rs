@@ -117,8 +117,8 @@ fn extend_is_bit_identical_to_full_rebuild_for_any_thread_count() {
         );
         // Byte-identical serialization, not just structural equality.
         assert_eq!(
-            persist::book_to_string(&extended.book),
-            persist::book_to_string(&full.book),
+            persist::events_to_string(&extended.book.events_owned()),
+            persist::events_to_string(&full.book.events_owned()),
             "threads={threads}"
         );
     }
