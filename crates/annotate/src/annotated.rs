@@ -8,16 +8,109 @@
 //! Feature abstraction (paper §3.2.2) then decides, per category, whether
 //! to emit the *instance* (the word/entity surface form) or the
 //! *presence* (the bare category tag) into the feature vector.
+//!
+//! ## Representation: structure-of-arrays over a shared buffer
+//!
+//! A snippet no longer owns one `String` per token. All annotation data
+//! lives in a [`SnippetBuf`] — one text buffer plus parallel span / POS /
+//! entity-link / entity vectors — and an [`AnnotatedSnippet`] is an
+//! `Arc<SnippetBuf>` handle plus the ranges of one snippet inside it.
+//! Several snippets of a batch share one buffer; the per-worker
+//! [`crate::AnnotateScratch`] recycles buffers through an
+//! [`etap_runtime::Arena`], so steady-state annotation allocates nothing.
+//!
+//! All offsets stored in the buffer are **snippet-relative** (token spans
+//! index the snippet's own text slice, entity links index the snippet's
+//! own entity list), which makes equality and downstream consumption
+//! independent of where in a shared buffer a snippet happens to live —
+//! chunk boundaries are invisible, which the determinism suite relies on.
 
 use crate::entity::{EntityCategory, EntitySpan};
 use crate::pos::PosTag;
-use etap_text::Token;
+use etap_runtime::Recycle;
+use etap_text::{Token, TokenSpan};
+use std::fmt;
+use std::sync::Arc;
 
-/// One token of an annotated snippet.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AnnotatedToken {
-    /// Surface form (owned; the snippet outlives its source buffer).
-    pub text: String,
+/// Sentinel for "token not covered by any entity" in the link vector.
+const NO_ENTITY: u32 = u32::MAX;
+
+/// Backing storage for one or more annotated snippets: one owned text
+/// buffer plus parallel structure-of-arrays annotation vectors.
+#[derive(Debug, Default)]
+pub struct SnippetBuf {
+    /// Concatenated snippet texts.
+    text: String,
+    /// Token spans, with offsets relative to each snippet's text slice.
+    spans: Vec<TokenSpan>,
+    /// POS tag per token (parallel to `spans`).
+    pos: Vec<PosTag>,
+    /// Snippet-relative entity index per token, `NO_ENTITY` if uncovered
+    /// (parallel to `spans`).
+    entity: Vec<u32>,
+    /// Entity spans, with snippet-relative token indices and offsets.
+    entities: Vec<EntitySpan>,
+}
+
+/// The ranges of one snippet inside a [`SnippetBuf`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SnipRange {
+    text: (u32, u32),
+    toks: (u32, u32),
+    ents: (u32, u32),
+}
+
+impl SnippetBuf {
+    /// Append one annotated snippet. `spans`/`pos` are parallel token
+    /// vectors over `text`; `entities` carries token indices into
+    /// `spans`. Everything is copied verbatim — offsets stay
+    /// snippet-relative — so appending is a handful of `memcpy`s.
+    pub(crate) fn push_snippet(
+        &mut self,
+        text: &str,
+        spans: &[TokenSpan],
+        pos: &[PosTag],
+        entities: &[EntitySpan],
+    ) -> SnipRange {
+        debug_assert_eq!(spans.len(), pos.len());
+        let text_at = self.text.len() as u32;
+        let toks_at = self.spans.len() as u32;
+        let ents_at = self.entities.len() as u32;
+        self.text.push_str(text);
+        self.spans.extend_from_slice(spans);
+        self.pos.extend_from_slice(pos);
+        let base = self.entity.len();
+        self.entity.resize(base + spans.len(), NO_ENTITY);
+        for (ei, span) in entities.iter().enumerate() {
+            for ti in span.token_range() {
+                self.entity[base + ti] = ei as u32;
+            }
+        }
+        self.entities.extend_from_slice(entities);
+        SnipRange {
+            text: (text_at, self.text.len() as u32),
+            toks: (toks_at, self.spans.len() as u32),
+            ents: (ents_at, self.entities.len() as u32),
+        }
+    }
+}
+
+impl Recycle for SnippetBuf {
+    fn recycle(&mut self) {
+        self.text.clear();
+        self.spans.clear();
+        self.pos.clear();
+        self.entity.clear();
+        self.entities.clear();
+    }
+}
+
+/// One token of an annotated snippet, as viewed through
+/// [`AnnotatedSnippet::tokens`]. Borrows from the snippet buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenRef<'a> {
+    /// Surface form (borrowed from the shared snippet buffer).
+    pub text: &'a str,
     /// POS tag (always present, even inside entities).
     pub pos: PosTag,
     /// Index into [`AnnotatedSnippet::entities`] when this token is part
@@ -25,80 +118,177 @@ pub struct AnnotatedToken {
     pub entity: Option<usize>,
 }
 
-/// A fully annotated snippet.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A fully annotated snippet: a shared buffer handle plus the ranges of
+/// this snippet's text, tokens and entities inside it.
+///
+/// Cloning is a refcount bump. Equality compares annotation *content*
+/// (text, token spans, POS tags, entity links, entity spans), never
+/// buffer identity, so snippets annotated through different batch
+/// chunkings compare equal.
+#[derive(Clone)]
 pub struct AnnotatedSnippet {
-    /// Tokens in document order.
-    pub tokens: Vec<AnnotatedToken>,
-    /// Entity spans in document order (token indices refer to `tokens`).
-    pub entities: Vec<EntitySpan>,
+    buf: Arc<SnippetBuf>,
+    range: SnipRange,
+}
+
+impl Default for AnnotatedSnippet {
+    fn default() -> Self {
+        Self {
+            buf: Arc::new(SnippetBuf::default()),
+            range: SnipRange {
+                text: (0, 0),
+                toks: (0, 0),
+                ents: (0, 0),
+            },
+        }
+    }
 }
 
 impl AnnotatedSnippet {
-    /// Assemble from tokenizer + NER + POS outputs.
+    /// Wrap one snippet range of a shared buffer.
+    pub(crate) fn from_shared(buf: Arc<SnippetBuf>, range: SnipRange) -> Self {
+        Self { buf, range }
+    }
+
+    /// Assemble from tokenizer + NER + POS outputs (compatibility path:
+    /// builds a fresh single-snippet buffer).
     ///
     /// `entities` must be disjoint and ordered (as produced by
     /// [`crate::NamedEntityRecognizer::recognize`]).
     #[must_use]
     pub fn assemble(
-        _source: &str,
+        source: &str,
         tokens: &[Token<'_>],
         entities: Vec<EntitySpan>,
         pos_tags: &[PosTag],
     ) -> Self {
         debug_assert_eq!(tokens.len(), pos_tags.len());
-        let mut entity_of = vec![None; tokens.len()];
-        for (ei, span) in entities.iter().enumerate() {
-            for ti in span.token_range() {
-                entity_of[ti] = Some(ei);
-            }
-        }
-        let toks = tokens
+        let mut buf = SnippetBuf::default();
+        let spans: Vec<TokenSpan> = tokens
             .iter()
-            .zip(pos_tags)
-            .zip(entity_of)
-            .map(|((t, &pos), entity)| AnnotatedToken {
-                text: t.text.to_string(),
-                pos,
-                entity,
+            .map(|t| TokenSpan {
+                start: t.start as u32,
+                end: t.end as u32,
+                kind: t.kind,
             })
             .collect();
+        let range = buf.push_snippet(source, &spans, pos_tags, &entities);
         Self {
-            tokens: toks,
-            entities,
+            buf: Arc::new(buf),
+            range,
         }
+    }
+
+    /// The snippet's source text.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.buf.text[self.range.text.0 as usize..self.range.text.1 as usize]
+    }
+
+    /// Token spans over [`Self::text`].
+    #[must_use]
+    pub fn spans(&self) -> &[TokenSpan] {
+        &self.buf.spans[self.range.toks.0 as usize..self.range.toks.1 as usize]
+    }
+
+    /// POS tags, parallel to [`Self::spans`].
+    #[must_use]
+    pub fn pos_tags(&self) -> &[PosTag] {
+        &self.buf.pos[self.range.toks.0 as usize..self.range.toks.1 as usize]
+    }
+
+    fn entity_ids(&self) -> &[u32] {
+        &self.buf.entity[self.range.toks.0 as usize..self.range.toks.1 as usize]
+    }
+
+    /// Entity spans in document order (token indices refer to this
+    /// snippet's tokens).
+    #[must_use]
+    pub fn entities(&self) -> &[EntitySpan] {
+        &self.buf.entities[self.range.ents.0 as usize..self.range.ents.1 as usize]
+    }
+
+    /// Number of tokens.
+    #[must_use]
+    pub fn token_count(&self) -> usize {
+        (self.range.toks.1 - self.range.toks.0) as usize
+    }
+
+    /// Whether the snippet has no tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.range.toks.0 == self.range.toks.1
+    }
+
+    /// Surface text of token `i`.
+    #[must_use]
+    pub fn token_text(&self, i: usize) -> &str {
+        self.spans()[i].text(self.text())
+    }
+
+    /// POS tag of token `i`.
+    #[must_use]
+    pub fn pos(&self, i: usize) -> PosTag {
+        self.pos_tags()[i]
+    }
+
+    /// Index into [`Self::entities`] of the entity covering token `i`.
+    #[must_use]
+    pub fn entity_of(&self, i: usize) -> Option<usize> {
+        match self.entity_ids()[i] {
+            NO_ENTITY => None,
+            ei => Some(ei as usize),
+        }
+    }
+
+    /// Iterate the tokens as text/POS/entity-link views.
+    pub fn tokens(&self) -> impl Iterator<Item = TokenRef<'_>> + '_ {
+        let text = self.text();
+        self.spans()
+            .iter()
+            .zip(self.pos_tags())
+            .zip(self.entity_ids())
+            .map(move |((span, &pos), &eid)| TokenRef {
+                text: span.text(text),
+                pos,
+                entity: if eid == NO_ENTITY {
+                    None
+                } else {
+                    Some(eid as usize)
+                },
+            })
     }
 
     /// The category of the entity covering token `i`, if any.
     #[must_use]
     pub fn entity_category(&self, i: usize) -> Option<EntityCategory> {
-        self.tokens
-            .get(i)
-            .and_then(|t| t.entity)
-            .map(|ei| self.entities[ei].category)
+        self.entity_of(i).map(|ei| self.entities()[ei].category)
     }
 
     /// Entity surface text (tokens joined by a space).
     #[must_use]
     pub fn entity_text(&self, ei: usize) -> String {
-        let span = &self.entities[ei];
-        let words: Vec<&str> = span
-            .token_range()
-            .map(|ti| self.tokens[ti].text.as_str())
-            .collect();
-        words.join(" ")
+        let span = &self.entities()[ei];
+        let mut out = String::new();
+        for ti in span.token_range() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.token_text(ti));
+        }
+        out
     }
 
     /// Does the snippet contain at least one entity of `cat`?
     #[must_use]
     pub fn contains_category(&self, cat: EntityCategory) -> bool {
-        self.entities.iter().any(|e| e.category == cat)
+        self.entities().iter().any(|e| e.category == cat)
     }
 
     /// Count entities of `cat`.
     #[must_use]
     pub fn count_category(&self, cat: EntityCategory) -> usize {
-        self.entities.iter().filter(|e| e.category == cat).count()
+        self.entities().iter().filter(|e| e.category == cat).count()
     }
 
     /// Render the snippet with entity tags substituted in, e.g.
@@ -108,19 +298,43 @@ impl AnnotatedSnippet {
     pub fn abstracted_text(&self) -> String {
         let mut out = String::new();
         let mut i = 0;
-        while i < self.tokens.len() {
+        let n = self.token_count();
+        while i < n {
             if !out.is_empty() {
                 out.push(' ');
             }
-            if let Some(ei) = self.tokens[i].entity {
-                out.push_str(self.entities[ei].category.tag());
-                i = self.entities[ei].first_token + self.entities[ei].token_len;
+            if let Some(ei) = self.entity_of(i) {
+                let span = &self.entities()[ei];
+                out.push_str(span.category.tag());
+                i = span.first_token + span.token_len;
             } else {
-                out.push_str(&self.tokens[i].text);
+                out.push_str(self.token_text(i));
                 i += 1;
             }
         }
         out
+    }
+}
+
+impl PartialEq for AnnotatedSnippet {
+    fn eq(&self, other: &Self) -> bool {
+        self.text() == other.text()
+            && self.spans() == other.spans()
+            && self.pos_tags() == other.pos_tags()
+            && self.entity_ids() == other.entity_ids()
+            && self.entities() == other.entities()
+    }
+}
+
+impl Eq for AnnotatedSnippet {}
+
+impl fmt::Debug for AnnotatedSnippet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnnotatedSnippet")
+            .field("text", &self.text())
+            .field("pos", &self.pos_tags())
+            .field("entities", &self.entities())
+            .finish()
     }
 }
 
@@ -140,12 +354,11 @@ mod tests {
     #[test]
     fn token_entity_links() {
         let s = annotate("IBM acquired Daksh for $160 million.");
-        let ibm = &s.tokens[0];
-        assert_eq!(ibm.text, "IBM");
-        assert!(ibm.entity.is_some());
+        assert_eq!(s.token_text(0), "IBM");
+        assert!(s.entity_of(0).is_some());
         assert_eq!(s.entity_category(0), Some(EntityCategory::Org));
         // "acquired" is uncovered.
-        assert_eq!(s.tokens[1].entity, None);
+        assert_eq!(s.entity_of(1), None);
     }
 
     #[test]
@@ -159,7 +372,7 @@ mod tests {
     #[test]
     fn entity_text_joins_tokens() {
         let s = annotate("Bank of America gained.");
-        let ei = s.tokens[0].entity.expect("entity");
+        let ei = s.entity_of(0).expect("entity");
         assert_eq!(s.entity_text(ei), "Bank of America");
     }
 
@@ -175,8 +388,57 @@ mod tests {
     #[test]
     fn empty_snippet() {
         let s = annotate("");
-        assert!(s.tokens.is_empty());
-        assert!(s.entities.is_empty());
+        assert_eq!(s.token_count(), 0);
+        assert!(s.is_empty());
+        assert!(s.entities().is_empty());
         assert_eq!(s.abstracted_text(), "");
+    }
+
+    #[test]
+    fn token_ref_iteration() {
+        let s = annotate("IBM acquired Daksh.");
+        let toks: Vec<TokenRef<'_>> = s.tokens().collect();
+        assert_eq!(toks.len(), s.token_count());
+        assert_eq!(toks[1].text, "acquired");
+        assert_eq!(toks[1].entity, None);
+        assert_eq!(toks[0].entity, Some(0));
+    }
+
+    #[test]
+    fn equality_ignores_buffer_placement() {
+        let text1 = "IBM acquired Daksh for $160 million.";
+        let text2 = "Oracle gained 5 % on Monday.";
+        let standalone = annotate(text2);
+
+        // Build a shared buffer holding both snippets; the second must
+        // compare equal to its standalone twin despite living at a
+        // nonzero offset in a different buffer.
+        let ner = NamedEntityRecognizer::new();
+        let pos = PosTagger::new();
+        let mut buf = SnippetBuf::default();
+        let mut ranges = Vec::new();
+        for text in [text1, text2] {
+            let toks = tokenize(text);
+            let spans: Vec<TokenSpan> = toks
+                .iter()
+                .map(|t| TokenSpan {
+                    start: t.start as u32,
+                    end: t.end as u32,
+                    kind: t.kind,
+                })
+                .collect();
+            let ents = ner.recognize(&toks);
+            let tags = pos.tag(&toks);
+            ranges.push(buf.push_snippet(text, &spans, &tags, &ents));
+        }
+        let shared = Arc::new(buf);
+        let packed = AnnotatedSnippet::from_shared(Arc::clone(&shared), ranges[1]);
+        assert_eq!(packed, standalone);
+        assert_eq!(packed.text(), text2);
+        assert_ne!(
+            packed,
+            AnnotatedSnippet::from_shared(shared, ranges[0]),
+            "different snippets must not compare equal"
+        );
     }
 }

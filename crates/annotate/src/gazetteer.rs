@@ -11,18 +11,47 @@
 //! All lookups are case-sensitive exact matches against the canonical
 //! casing stored here, except designations and units which are matched
 //! case-insensitively.
+//!
+//! ## Storage: a byte trie, not a `HashSet<String>`
+//!
+//! Entries live in a single flat byte trie (`Vec` of nodes, sorted edge
+//! lists), built once at load. Multi-word entries are stored with their
+//! single-space separators, so the NER matcher can walk a candidate token
+//! run **incrementally** — one [`Walk`] fed token bytes plus separators —
+//! and read off every matching prefix length in one pass, without ever
+//! materialising a `String` key per probe. When the walk dies at some
+//! byte, no longer entry can match either (all longer keys share the
+//! prefix), which is exactly the early-exit the old per-length
+//! `HashSet::contains` loop could not express.
 
-use std::collections::HashSet;
+use etap_text::lower_into;
 
-/// A set of known multi-word names, stored as their token sequences.
+/// One trie node: sorted `(byte, child)` edges plus a terminal flag.
 #[derive(Debug, Clone, Default)]
+struct Node {
+    edges: Vec<(u8, u32)>,
+    terminal: bool,
+}
+
+/// A set of known (possibly multi-word) names, stored as a byte trie
+/// keyed on the space-joined token sequence.
+#[derive(Debug, Clone)]
 pub struct Gazetteer {
-    /// Single-token entries (exact match).
-    singles: HashSet<String>,
-    /// Multi-token entries joined with a single space.
-    multis: HashSet<String>,
+    nodes: Vec<Node>,
+    /// Number of distinct entries (terminal nodes).
+    len: usize,
     /// Longest entry length in tokens (bounds the matcher's lookahead).
     max_len: usize,
+}
+
+impl Default for Gazetteer {
+    fn default() -> Self {
+        Gazetteer {
+            nodes: vec![Node::default()],
+            len: 0,
+            max_len: 0,
+        }
+    }
 }
 
 impl Gazetteer {
@@ -41,20 +70,64 @@ impl Gazetteer {
     pub fn insert(&mut self, entry: &str) {
         let n = entry.split(' ').count();
         self.max_len = self.max_len.max(n);
-        if n == 1 {
-            self.singles.insert(entry.to_string());
-        } else {
-            self.multis.insert(entry.to_string());
+        let mut node = 0u32;
+        for b in entry.bytes() {
+            node = match self.step(node, b) {
+                Some(next) => next,
+                None => {
+                    let next = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    let edges = &mut self.nodes[node as usize].edges;
+                    let pos = edges.partition_point(|&(eb, _)| eb < b);
+                    edges.insert(pos, (b, next));
+                    next
+                }
+            };
         }
+        let end = &mut self.nodes[node as usize].terminal;
+        if !*end {
+            *end = true;
+            self.len += 1;
+        }
+    }
+
+    /// Follow the edge labelled `b` out of `node`, if present.
+    #[inline]
+    fn step(&self, node: u32, b: u8) -> Option<u32> {
+        let edges = &self.nodes[node as usize].edges;
+        // Edge lists are tiny (branching factor of curated name lists);
+        // a linear scan over the sorted pairs beats binary search here.
+        for &(eb, next) in edges {
+            if eb == b {
+                return Some(next);
+            }
+            if eb > b {
+                return None;
+            }
+        }
+        None
     }
 
     /// Does the gazetteer contain this exact (possibly multi-word) entry?
     #[must_use]
     pub fn contains(&self, entry: &str) -> bool {
-        if entry.contains(' ') {
-            self.multis.contains(entry)
-        } else {
-            self.singles.contains(entry)
+        let mut node = 0u32;
+        for b in entry.bytes() {
+            match self.step(node, b) {
+                Some(next) => node = next,
+                None => return false,
+            }
+        }
+        self.nodes[node as usize].terminal
+    }
+
+    /// Start an incremental walk from the trie root. Feed it tokens (and
+    /// separators between them) to probe entries prefix-by-prefix.
+    #[must_use]
+    pub fn walk(&self) -> Walk<'_> {
+        Walk {
+            gaz: self,
+            node: Some(0),
         }
     }
 
@@ -67,13 +140,70 @@ impl Gazetteer {
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.singles.len() + self.multis.len()
+        self.len
     }
 
     /// True when the gazetteer has no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.singles.is_empty() && self.multis.is_empty()
+        self.len == 0
+    }
+}
+
+/// An incremental matcher state over a [`Gazetteer`] trie.
+///
+/// The NER feeds one candidate token run through a walk: `token`,
+/// `sep`, `token`, … After each token, [`Walk::matched`] says whether
+/// the bytes fed so far form a complete entry. Once the walk leaves the
+/// trie it stays dead (every `feed` returns `false`), letting callers
+/// break out of the lookahead loop early.
+#[derive(Debug, Clone)]
+pub struct Walk<'a> {
+    gaz: &'a Gazetteer,
+    node: Option<u32>,
+}
+
+impl Walk<'_> {
+    /// Feed the single-space separator between tokens.
+    pub fn sep(&mut self) -> bool {
+        self.feed_byte(b' ')
+    }
+
+    /// Feed a token verbatim (case-sensitive gazetteers).
+    pub fn token(&mut self, text: &str) -> bool {
+        text.bytes().all(|b| self.feed_byte(b))
+    }
+
+    /// Feed a token lowercased (case-insensitive gazetteers whose entries
+    /// are stored lowercase). ASCII folds byte-by-byte with no
+    /// allocation; non-ASCII tokens take the full Unicode lowering
+    /// through the caller's scratch buffer.
+    pub fn token_folded(&mut self, text: &str, scratch: &mut String) -> bool {
+        if text.is_ascii() {
+            text.bytes().all(|b| self.feed_byte(b.to_ascii_lowercase()))
+        } else {
+            lower_into(text, scratch);
+            scratch.bytes().all(|b| self.feed_byte(b))
+        }
+    }
+
+    /// Whether the bytes fed so far spell a complete entry.
+    #[must_use]
+    pub fn matched(&self) -> bool {
+        self.node
+            .is_some_and(|n| self.gaz.nodes[n as usize].terminal)
+    }
+
+    /// Whether the walk is still inside the trie.
+    #[must_use]
+    pub fn alive(&self) -> bool {
+        self.node.is_some()
+    }
+
+    #[inline]
+    fn feed_byte(&mut self, b: u8) -> bool {
+        self.node = self.node.and_then(|n| self.gaz.step(n, b));
+        self.node.is_some()
     }
 }
 
@@ -978,6 +1108,52 @@ mod tests {
         assert!(!g.contains("General"));
         assert_eq!(g.max_len(), 3);
         assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn walk_reports_every_matching_prefix_length() {
+        let g = Gazetteer::from_entries(&["New", "New York", "New York City"]);
+        let mut w = g.walk();
+        assert!(w.token("New"));
+        assert!(w.matched());
+        assert!(w.sep());
+        assert!(w.token("York"));
+        assert!(w.matched());
+        assert!(w.sep());
+        assert!(w.token("City"));
+        assert!(w.matched());
+        // One token past the longest entry kills the walk.
+        assert!(!w.sep() || !w.token("Council"));
+        assert!(!w.matched());
+    }
+
+    #[test]
+    fn walk_dies_on_first_divergence() {
+        let g = Gazetteer::from_entries(&["Bank of America"]);
+        let mut w = g.walk();
+        assert!(w.token("Bank"));
+        assert!(!w.matched());
+        assert!(w.sep());
+        assert!(!w.token("off"), "walk must die inside the mismatching token");
+        assert!(!w.alive());
+        assert!(!w.token("America"));
+    }
+
+    #[test]
+    fn folded_walk_matches_lowercase_entries() {
+        let g = Gazetteer::from_entries(&["vice president", "ceo"]);
+        let mut scratch = String::new();
+        let mut w = g.walk();
+        assert!(w.token_folded("Vice", &mut scratch));
+        assert!(w.sep());
+        assert!(w.token_folded("PRESIDENT", &mut scratch));
+        assert!(w.matched());
+        // Unicode fold falls back through the scratch buffer: the Kelvin
+        // sign lowers to ASCII 'k'.
+        let g2 = Gazetteer::from_entries(&["kelvin"]);
+        let mut w2 = g2.walk();
+        assert!(w2.token_folded("\u{212A}elvin", &mut scratch));
+        assert!(w2.matched());
     }
 
     #[test]

@@ -30,10 +30,38 @@ pub mod gazetteer;
 pub mod ner;
 pub mod pos;
 
-pub use annotated::{AnnotatedSnippet, AnnotatedToken};
+pub use annotated::{AnnotatedSnippet, SnippetBuf, TokenRef};
 pub use entity::{EntityCategory, EntitySpan};
 pub use ner::NamedEntityRecognizer;
 pub use pos::{PosTag, PosTagger};
+
+use annotated::SnipRange;
+use etap_runtime::Arena;
+use etap_text::TokenSpan;
+use std::sync::Arc;
+
+/// Per-worker reusable state for the zero-allocation annotate path:
+/// tokenizer span vector, NER/POS outputs, the lowercase fold buffer, and
+/// the [`Arena`] that owns snippet buffers. One scratch per worker
+/// (threaded through `par_chunk_map_with`); after warm-up, annotating a
+/// snippet whose previous output has been dropped allocates nothing.
+#[derive(Debug, Default)]
+pub struct AnnotateScratch {
+    spans: Vec<TokenSpan>,
+    entities: Vec<EntitySpan>,
+    pos: Vec<PosTag>,
+    lower: String,
+    ranges: Vec<SnipRange>,
+    arena: Arena<SnippetBuf>,
+}
+
+impl AnnotateScratch {
+    /// Create an empty scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Full annotator: NER + POS in one pass.
 #[derive(Debug, Default, Clone)]
@@ -56,26 +84,101 @@ impl Annotator {
     }
 
     /// Annotate a snippet: tokenize, find entity spans, tag the rest.
+    ///
+    /// Convenience wrapper over [`Self::annotate_with`] with a throwaway
+    /// scratch; loops should hold an [`AnnotateScratch`] and call
+    /// `annotate_with` directly.
     #[must_use]
     pub fn annotate(&self, text: &str) -> AnnotatedSnippet {
-        let tokens = etap_text::tokenize(text);
-        let entities = self.ner.recognize(&tokens);
-        let pos_tags = self.pos.tag(&tokens);
-        AnnotatedSnippet::assemble(text, &tokens, entities, &pos_tags)
+        self.annotate_with(text, &mut AnnotateScratch::new())
+    }
+
+    /// Annotate a snippet reusing per-worker scratch state. In steady
+    /// state (scratch warm, previous snippet dropped) this performs zero
+    /// heap allocations: the tokenizer writes spans into the scratch, the
+    /// NER walks gazetteer tries without key strings, and the output
+    /// buffer is recycled through the scratch's arena. If the previous
+    /// snippet is still alive the arena spills to a fresh buffer, so
+    /// retaining snippets is safe, just not free.
+    #[must_use]
+    pub fn annotate_with(&self, text: &str, scratch: &mut AnnotateScratch) -> AnnotatedSnippet {
+        let AnnotateScratch {
+            spans,
+            entities,
+            pos,
+            lower,
+            arena,
+            ..
+        } = scratch;
+        etap_text::tokenize_into(text, spans);
+        self.ner.recognize_into(text, spans, lower, entities);
+        self.pos.tag_spans_into(text, spans, lower, pos);
+        let range = arena.fill().push_snippet(text, spans, pos, entities);
+        AnnotatedSnippet::from_shared(arena.share(), range)
+    }
+
+    /// Annotate one chunk of a batch into a single shared buffer: the
+    /// arena is filled once per chunk (reset-per-chunk), and every
+    /// snippet of the chunk shares the one `Arc` buffer.
+    fn annotate_chunk<S: AsRef<str>>(
+        &self,
+        chunk: &[S],
+        scratch: &mut AnnotateScratch,
+    ) -> Vec<AnnotatedSnippet> {
+        let AnnotateScratch {
+            spans,
+            entities,
+            pos,
+            lower,
+            ranges,
+            arena,
+        } = scratch;
+        ranges.clear();
+        {
+            let buf = arena.fill();
+            for t in chunk {
+                let text = t.as_ref();
+                etap_text::tokenize_into(text, spans);
+                self.ner.recognize_into(text, spans, lower, entities);
+                self.pos.tag_spans_into(text, spans, lower, pos);
+                ranges.push(buf.push_snippet(text, spans, pos, entities));
+            }
+        }
+        let shared = arena.share();
+        ranges
+            .iter()
+            .map(|r| AnnotatedSnippet::from_shared(Arc::clone(&shared), *r))
+            .collect()
     }
 
     /// Annotate many snippets on up to `threads` worker threads
     /// (`0` = the `ETAP_THREADS` default). Annotation is the pipeline's
     /// dominant cost and is embarrassingly parallel: output `i` is
-    /// exactly `self.annotate(texts[i].as_ref())`, order-preserving and
-    /// bit-identical to the sequential path for any thread count.
+    /// content-equal to `self.annotate(texts[i].as_ref())`,
+    /// order-preserving and bit-identical to the sequential path for any
+    /// thread count. Each fixed-size chunk shares one arena-recycled
+    /// snippet buffer (snippet equality is content-based, so the chunk
+    /// packing is unobservable).
     #[must_use]
     pub fn annotate_batch<S: AsRef<str> + Sync>(
         &self,
         texts: &[S],
         threads: usize,
     ) -> Vec<AnnotatedSnippet> {
-        etap_runtime::par_map(texts, threads, |t| self.annotate(t.as_ref()))
+        use etap_runtime::par::{par_chunk_map_with, CHUNK};
+        if texts.is_empty() {
+            return Vec::new();
+        }
+        let n_chunks = texts.len().div_ceil(CHUNK);
+        let per_chunk = par_chunk_map_with(n_chunks, threads, AnnotateScratch::new, |sc, ci| {
+            let chunk = &texts[ci * CHUNK..(ci * CHUNK + CHUNK).min(texts.len())];
+            self.annotate_chunk(chunk, sc)
+        });
+        let mut out = Vec::with_capacity(texts.len());
+        for chunk in per_chunk {
+            out.extend(chunk);
+        }
+        out
     }
 
     /// Access the underlying NER (e.g. to extend gazetteers).
@@ -100,7 +203,7 @@ mod tests {
         let snip = ann.annotate("IBM acquired Daksh for $160 million in April 2004.");
         // ORG, CURRENCY and PERIOD should all be present ("April 2004"
         // is one PERIOD span that absorbs the year).
-        let cats: Vec<EntityCategory> = snip.entities.iter().map(|e| e.category).collect();
+        let cats: Vec<EntityCategory> = snip.entities().iter().map(|e| e.category).collect();
         assert!(cats.contains(&EntityCategory::Org), "{cats:?}");
         assert!(cats.contains(&EntityCategory::Currency), "{cats:?}");
         assert!(cats.contains(&EntityCategory::Period), "{cats:?}");
@@ -111,11 +214,42 @@ mod tests {
         let ann = Annotator::new();
         let snip = ann.annotate("IBM acquired Daksh.");
         let acquired = snip
-            .tokens
-            .iter()
+            .tokens()
             .find(|t| t.text == "acquired")
             .expect("token present");
         assert_eq!(acquired.entity, None);
         assert_eq!(acquired.pos, PosTag::Vb);
+    }
+
+    #[test]
+    fn annotate_with_reuses_scratch_and_matches_annotate() {
+        let ann = Annotator::new();
+        let texts = [
+            "IBM acquired Daksh for $160 million in April 2004.",
+            "Oracle gained 5 % on Monday, said Mr. Andersen.",
+            "Société Générale opened offices in New York City.",
+        ];
+        let mut scratch = AnnotateScratch::new();
+        for text in texts {
+            let fresh = ann.annotate(text);
+            let reused = ann.annotate_with(text, &mut scratch);
+            assert_eq!(reused, fresh, "mismatch on {text:?}");
+        }
+    }
+
+    #[test]
+    fn annotate_batch_matches_sequential_annotate() {
+        let ann = Annotator::new();
+        // Straddle the chunk boundary so multiple shared buffers appear.
+        let texts: Vec<String> = (0..etap_runtime::par::CHUNK + 7)
+            .map(|i| format!("Company{i} Inc. hired {i} employees in Q{} 2004.", i % 4 + 1))
+            .collect();
+        for threads in [1, 4] {
+            let batch = ann.annotate_batch(&texts, threads);
+            assert_eq!(batch.len(), texts.len());
+            for (snip, text) in batch.iter().zip(&texts) {
+                assert_eq!(snip, &ann.annotate(text));
+            }
+        }
     }
 }

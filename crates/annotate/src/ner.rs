@@ -27,10 +27,20 @@
 //! Unknown capitalised words that match no rule are deliberately left
 //! unannotated (they surface as `np` POS tokens downstream) — this is the
 //! realistic imperfection the paper's §6 discusses.
+//!
+//! ## Zero-allocation matching
+//!
+//! All rules run over a [`Toks`] token source — either borrowed `Token`
+//! slices (the compatibility path) or `(&str, &[TokenSpan])` pairs (the
+//! hot path fed by [`etap_text::tokenize_into`]). Gazetteer probes walk
+//! the byte trie incrementally instead of building `String` keys, and
+//! case-insensitive word checks fold ASCII in place (`eq_ignore_ascii_case`),
+//! falling back to a caller-kept scratch `String` only for non-ASCII
+//! tokens. Steady-state recognition allocates nothing.
 
 use crate::entity::{EntityCategory, EntitySpan};
 use crate::gazetteer::{self, Gazetteer};
-use etap_text::{tokenize, Token, TokenKind};
+use etap_text::{is_capitalized, lower_into, tokenize, Token, TokenKind, TokenSpan};
 
 /// A candidate match produced by one rule at one position.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +49,85 @@ struct Candidate {
     token_len: usize,
     /// Lower value wins among equal lengths.
     priority: u8,
+}
+
+/// A read-only token source the recognizer rules run over: either a
+/// borrowed `[Token]` slice or spans resolved against a text buffer.
+/// Monomorphised, so the rules compile to the same code for both.
+trait Toks {
+    fn len(&self) -> usize;
+    fn text(&self, i: usize) -> &str;
+    fn kind(&self, i: usize) -> TokenKind;
+    fn start(&self, i: usize) -> usize;
+    fn end(&self, i: usize) -> usize;
+    fn capitalized(&self, i: usize) -> bool {
+        is_capitalized(self.text(i), self.kind(i))
+    }
+}
+
+impl Toks for [Token<'_>] {
+    fn len(&self) -> usize {
+        <[Token<'_>]>::len(self)
+    }
+    fn text(&self, i: usize) -> &str {
+        self[i].text
+    }
+    fn kind(&self, i: usize) -> TokenKind {
+        self[i].kind
+    }
+    fn start(&self, i: usize) -> usize {
+        self[i].start
+    }
+    fn end(&self, i: usize) -> usize {
+        self[i].end
+    }
+}
+
+/// Spans over a text buffer — the structure-of-arrays token source.
+struct SpanToks<'a> {
+    text: &'a str,
+    spans: &'a [TokenSpan],
+}
+
+impl Toks for SpanToks<'_> {
+    fn len(&self) -> usize {
+        self.spans.len()
+    }
+    fn text(&self, i: usize) -> &str {
+        self.spans[i].text(self.text)
+    }
+    fn kind(&self, i: usize) -> TokenKind {
+        self.spans[i].kind
+    }
+    fn start(&self, i: usize) -> usize {
+        self.spans[i].start as usize
+    }
+    fn end(&self, i: usize) -> usize {
+        self.spans[i].end as usize
+    }
+}
+
+/// Case-insensitive membership of `text` in a list of lowercase words.
+/// ASCII compares in place; non-ASCII lowers through `scratch` (the
+/// built-in lists are all ASCII, so the fold direction matches the old
+/// `Token::lower` comparison exactly).
+fn lower_in(text: &str, words: &[&str], scratch: &mut String) -> bool {
+    if text.is_ascii() {
+        words.iter().any(|w| text.eq_ignore_ascii_case(w))
+    } else {
+        lower_into(text, scratch);
+        words.iter().any(|w| *w == scratch.as_str())
+    }
+}
+
+/// Case-insensitive equality against one lowercase word.
+fn lower_eq(text: &str, word: &str, scratch: &mut String) -> bool {
+    if text.is_ascii() {
+        text.eq_ignore_ascii_case(word)
+    } else {
+        lower_into(text, scratch);
+        scratch.as_str() == word
+    }
 }
 
 /// Gazetteer- and rule-based NER for the 13 ETAP categories.
@@ -103,6 +192,10 @@ const SCALE_WORDS: &[&str] = &[
     "million", "billion", "trillion", "thousand", "crore", "lakh", "m", "bn",
 ];
 const CURRENCY_SYMBOLS: &[&str] = &["$", "€", "£", "¥", "₹"];
+const CURRENCY_CODES: &[&str] = &["rs", "usd", "eur", "gbp", "inr", "jpy"];
+const PERIOD_HEADS: &[&str] = &[
+    "first", "second", "third", "fourth", "last", "next", "this", "current", "previous", "fiscal",
+];
 const COUNT_NOUNS: &[&str] = &[
     "employees",
     "people",
@@ -164,37 +257,67 @@ impl NamedEntityRecognizer {
     /// Recognize entities in pre-tokenized text.
     #[must_use]
     pub fn recognize(&self, tokens: &[Token<'_>]) -> Vec<EntitySpan> {
-        let mut spans = Vec::new();
+        let mut out = Vec::new();
+        let mut scratch = String::new();
+        self.recognize_impl(tokens, &mut scratch, &mut out);
+        out
+    }
+
+    /// Recognize entities over token spans, writing into a caller-kept
+    /// output vector (cleared first). `scratch` is the lowercase fold
+    /// buffer for non-ASCII tokens; with ASCII input nothing allocates.
+    pub fn recognize_into(
+        &self,
+        text: &str,
+        spans: &[TokenSpan],
+        scratch: &mut String,
+        out: &mut Vec<EntitySpan>,
+    ) {
+        out.clear();
+        self.recognize_impl(&SpanToks { text, spans }, scratch, out);
+    }
+
+    /// Convenience: tokenize and recognize in one call, returning entity
+    /// surfaces borrowed from `text`.
+    #[must_use]
+    pub fn recognize_text<'a>(&self, text: &'a str) -> Vec<(EntityCategory, &'a str)> {
+        let tokens = tokenize(text);
+        self.recognize(&tokens)
+            .into_iter()
+            .map(|s| (s.category, &text[s.start..s.end]))
+            .collect()
+    }
+
+    fn recognize_impl<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        scratch: &mut String,
+        out: &mut Vec<EntitySpan>,
+    ) {
         let mut i = 0usize;
-        while i < tokens.len() {
-            if let Some(best) = self.best_candidate(tokens, i) {
+        while i < toks.len() {
+            if let Some(best) = self.best_candidate(toks, i, scratch) {
                 let last = i + best.token_len - 1;
-                spans.push(EntitySpan {
+                out.push(EntitySpan {
                     category: best.category,
                     first_token: i,
                     token_len: best.token_len,
-                    start: tokens[i].start,
-                    end: tokens[last].end,
+                    start: toks.start(i),
+                    end: toks.end(last),
                 });
                 i += best.token_len;
             } else {
                 i += 1;
             }
         }
-        spans
     }
 
-    /// Convenience: tokenize and recognize in one call.
-    #[must_use]
-    pub fn recognize_text(&self, text: &str) -> Vec<(EntityCategory, String)> {
-        let tokens = tokenize(text);
-        self.recognize(&tokens)
-            .into_iter()
-            .map(|s| (s.category, text[s.start..s.end].to_string()))
-            .collect()
-    }
-
-    fn best_candidate(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+    fn best_candidate<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        i: usize,
+        sc: &mut String,
+    ) -> Option<Candidate> {
         let mut best: Option<Candidate> = None;
         let mut consider = |c: Option<Candidate>| {
             if let Some(c) = c {
@@ -210,40 +333,44 @@ impl NamedEntityRecognizer {
                 };
             }
         };
-        consider(self.match_currency(tokens, i));
-        consider(self.match_percent(tokens, i));
-        consider(self.match_time(tokens, i));
-        consider(self.match_period(tokens, i));
-        consider(self.match_year(tokens, i));
-        consider(self.match_length(tokens, i));
-        consider(self.match_count(tokens, i));
-        consider(self.match_person(tokens, i));
-        consider(self.match_org(tokens, i));
-        consider(self.match_designation(tokens, i));
-        consider(self.match_gazetteer(&self.places, tokens, i, EntityCategory::Plc, 40));
-        consider(self.match_gazetteer(&self.products, tokens, i, EntityCategory::Prod, 50));
-        consider(self.match_gazetteer(&self.objects, tokens, i, EntityCategory::Obj, 60));
+        consider(self.match_currency(toks, i, sc));
+        consider(self.match_percent(toks, i, sc));
+        consider(self.match_time(toks, i, sc));
+        consider(self.match_period(toks, i, sc));
+        consider(self.match_year(toks, i));
+        consider(self.match_length(toks, i, sc));
+        consider(self.match_count(toks, i, sc));
+        consider(self.match_person(toks, i));
+        consider(self.match_org(toks, i));
+        consider(self.match_designation(toks, i, sc));
+        consider(self.match_gazetteer(&self.places, toks, i, EntityCategory::Plc, 40));
+        consider(self.match_gazetteer(&self.products, toks, i, EntityCategory::Prod, 50));
+        consider(self.match_gazetteer(&self.objects, toks, i, EntityCategory::Obj, 60));
         best
     }
 
-    /// Longest gazetteer match starting at `i` (case-preserving key).
-    fn match_gazetteer(
+    /// Longest gazetteer match starting at `i` (case-preserving): one
+    /// incremental trie walk over the candidate run, no key strings. The
+    /// walk dying mid-token proves no longer entry can match either.
+    fn match_gazetteer<S: Toks + ?Sized>(
         &self,
         g: &Gazetteer,
-        tokens: &[Token<'_>],
+        toks: &S,
         i: usize,
         category: EntityCategory,
         priority: u8,
     ) -> Option<Candidate> {
-        let max = g.max_len().min(tokens.len() - i);
-        let mut key = String::new();
+        let max = g.max_len().min(toks.len() - i);
+        let mut walk = g.walk();
         let mut found: Option<usize> = None;
         for len in 1..=max {
-            if len > 1 {
-                key.push(' ');
+            if len > 1 && !walk.sep() {
+                break;
             }
-            key.push_str(tokens[i + len - 1].text);
-            if g.contains(&key) {
+            if !walk.token(toks.text(i + len - 1)) {
+                break;
+            }
+            if walk.matched() {
                 found = Some(len);
             }
         }
@@ -254,18 +381,25 @@ impl NamedEntityRecognizer {
         })
     }
 
-    /// Same, but lowercase keys (designations).
-    fn match_designation(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+    /// Same, but case-folded (designations are stored lowercase).
+    fn match_designation<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        i: usize,
+        sc: &mut String,
+    ) -> Option<Candidate> {
         let g = &self.designations;
-        let max = g.max_len().min(tokens.len() - i);
-        let mut key = String::new();
+        let max = g.max_len().min(toks.len() - i);
+        let mut walk = g.walk();
         let mut found: Option<usize> = None;
         for len in 1..=max {
-            if len > 1 {
-                key.push(' ');
+            if len > 1 && !walk.sep() {
+                break;
             }
-            key.push_str(&tokens[i + len - 1].lower());
-            if g.contains(&key) {
+            if !walk.token_folded(toks.text(i + len - 1), sc) {
+                break;
+            }
+            if walk.matched() {
                 found = Some(len);
             }
         }
@@ -276,23 +410,29 @@ impl NamedEntityRecognizer {
         })
     }
 
-    fn match_currency(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
-        let t = &tokens[i];
+    fn match_currency<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        i: usize,
+        sc: &mut String,
+    ) -> Option<Candidate> {
+        let n = toks.len();
+        let text = toks.text(i);
         // Symbol form: $ 160 [million], or the range "$5-7 million"
         // (tokenized as $ , 5-7, million — the hyphenated number run).
-        if CURRENCY_SYMBOLS.contains(&t.text) {
-            let num = tokens.get(i + 1)?;
-            let numeric_range = num.text.contains('-')
+        if CURRENCY_SYMBOLS.contains(&text) {
+            if i + 1 >= n {
+                return None;
+            }
+            let num = toks.text(i + 1);
+            let numeric_range = num.contains('-')
                 && num
-                    .text
                     .split('-')
                     .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()));
-            if num.kind.is_numeric() || numeric_range {
+            if toks.kind(i + 1).is_numeric() || numeric_range {
                 let mut len = 2;
-                if let Some(scale) = tokens.get(i + 2) {
-                    if SCALE_WORDS.contains(&scale.lower().as_ref()) {
-                        len = 3;
-                    }
+                if i + 2 < n && lower_in(toks.text(i + 2), SCALE_WORDS, sc) {
+                    len = 3;
                 }
                 return Some(Candidate {
                     category: EntityCategory::Currency,
@@ -303,15 +443,14 @@ impl NamedEntityRecognizer {
             return None;
         }
         // "Rs 5 crore", "USD 3 million".
-        let lower = t.lower();
-        if matches!(&*lower, "rs" | "usd" | "eur" | "gbp" | "inr" | "jpy") {
-            let num = tokens.get(i + 1)?;
-            if num.kind.is_numeric() {
+        if lower_in(text, CURRENCY_CODES, sc) {
+            if i + 1 >= n {
+                return None;
+            }
+            if toks.kind(i + 1).is_numeric() {
                 let mut len = 2;
-                if let Some(scale) = tokens.get(i + 2) {
-                    if SCALE_WORDS.contains(&scale.lower().as_ref()) {
-                        len = 3;
-                    }
+                if i + 2 < n && lower_in(toks.text(i + 2), SCALE_WORDS, sc) {
+                    len = 3;
                 }
                 return Some(Candidate {
                     category: EntityCategory::Currency,
@@ -321,33 +460,33 @@ impl NamedEntityRecognizer {
             }
         }
         // Number-first form: "160 million dollars", "5 crore rupees".
-        if t.kind.is_numeric() {
+        if toks.kind(i).is_numeric() {
             let mut j = i + 1;
-            if let Some(scale) = tokens.get(j) {
-                if SCALE_WORDS.contains(&scale.lower().as_ref()) {
-                    j += 1;
-                }
+            if j < n && lower_in(toks.text(j), SCALE_WORDS, sc) {
+                j += 1;
             }
-            if let Some(cur) = tokens.get(j) {
-                if gazetteer::CURRENCY_WORDS.contains(&cur.lower().as_ref()) {
-                    return Some(Candidate {
-                        category: EntityCategory::Currency,
-                        token_len: j - i + 1,
-                        priority: 1,
-                    });
-                }
+            if j < n && lower_in(toks.text(j), gazetteer::CURRENCY_WORDS, sc) {
+                return Some(Candidate {
+                    category: EntityCategory::Currency,
+                    token_len: j - i + 1,
+                    priority: 1,
+                });
             }
         }
         None
     }
 
-    fn match_percent(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
-        let t = &tokens[i];
-        if !t.kind.is_numeric() {
+    fn match_percent<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        i: usize,
+        sc: &mut String,
+    ) -> Option<Candidate> {
+        if !toks.kind(i).is_numeric() || i + 1 >= toks.len() {
             return None;
         }
-        let next = tokens.get(i + 1)?;
-        if next.text == "%" || matches!(next.lower().as_ref(), "percent" | "pct") {
+        let next = toks.text(i + 1);
+        if next == "%" || lower_in(next, &["percent", "pct"], sc) {
             return Some(Candidate {
                 category: EntityCategory::Prcnt,
                 token_len: 2,
@@ -355,10 +494,9 @@ impl NamedEntityRecognizer {
             });
         }
         // "3 percentage points" (basis-point phrasing of rate moves).
-        if next.lower() == "percentage"
-            && tokens
-                .get(i + 2)
-                .is_some_and(|p| matches!(p.lower().as_ref(), "points" | "point"))
+        if lower_eq(next, "percentage", sc)
+            && i + 2 < toks.len()
+            && lower_in(toks.text(i + 2), &["points", "point"], sc)
         {
             return Some(Candidate {
                 category: EntityCategory::Prcnt,
@@ -369,34 +507,40 @@ impl NamedEntityRecognizer {
         None
     }
 
-    fn match_time(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
-        let t = &tokens[i];
+    fn match_time<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        i: usize,
+        sc: &mut String,
+    ) -> Option<Candidate> {
+        let n = toks.len();
         // Named times of day.
-        if matches!(t.lower().as_ref(), "noon" | "midnight") {
+        if lower_in(toks.text(i), &["noon", "midnight"], sc) {
             return Some(Candidate {
                 category: EntityCategory::Tim,
                 token_len: 1,
                 priority: 3,
             });
         }
-        if !t.kind.is_numeric() {
+        if !toks.kind(i).is_numeric() {
             return None;
         }
         // "4 p.m." — tokenizer yields ["4","p",".","m","."] or "4 pm".
-        if let Some(next) = tokens.get(i + 1) {
-            let nl = next.lower();
-            if matches!(&*nl, "am" | "pm") {
+        if i + 1 < n {
+            let next = toks.text(i + 1);
+            if lower_in(next, &["am", "pm"], sc) {
                 return Some(Candidate {
                     category: EntityCategory::Tim,
                     token_len: 2,
                     priority: 3,
                 });
             }
-            if (nl == "a" || nl == "p")
-                && tokens.get(i + 2).is_some_and(|d| d.text == ".")
-                && tokens.get(i + 3).is_some_and(|m| m.lower() == "m")
+            if (lower_eq(next, "a", sc) || lower_eq(next, "p", sc))
+                && i + 3 < n
+                && toks.text(i + 2) == "."
+                && lower_eq(toks.text(i + 3), "m", sc)
             {
-                let len = if tokens.get(i + 4).is_some_and(|d| d.text == ".") {
+                let len = if i + 4 < n && toks.text(i + 4) == "." {
                     5
                 } else {
                     4
@@ -408,11 +552,10 @@ impl NamedEntityRecognizer {
                 });
             }
             // HH:MM
-            if next.text == ":"
-                && tokens
-                    .get(i + 2)
-                    .is_some_and(|m| m.kind == TokenKind::Number)
-                && next.start == t.end
+            if next == ":"
+                && i + 2 < n
+                && toks.kind(i + 2) == TokenKind::Number
+                && toks.start(i + 1) == toks.end(i)
             {
                 return Some(Candidate {
                     category: EntityCategory::Tim,
@@ -424,14 +567,20 @@ impl NamedEntityRecognizer {
         None
     }
 
-    fn match_period(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
-        let t = &tokens[i];
+    fn match_period<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        i: usize,
+        sc: &mut String,
+    ) -> Option<Candidate> {
+        let n = toks.len();
+        let text = toks.text(i);
         // Quarter shorthand: "Q3", "Q4 2005", "H1 2006".
-        if t.text.len() == 2
-            && (t.text.starts_with('Q') || t.text.starts_with('H'))
-            && t.text[1..].chars().all(|c| c.is_ascii_digit())
+        if text.len() == 2
+            && (text.starts_with('Q') || text.starts_with('H'))
+            && text[1..].chars().all(|c| c.is_ascii_digit())
         {
-            let len = if tokens.get(i + 1).is_some_and(|y| is_year(y.text)) {
+            let len = if i + 1 < n && is_year(toks.text(i + 1)) {
                 2
             } else {
                 1
@@ -443,21 +592,22 @@ impl NamedEntityRecognizer {
             });
         }
         // Month [day] [, year] / Month year.
-        if gazetteer::MONTHS.contains(&t.text) {
+        if gazetteer::MONTHS.contains(&text) {
             let mut len = 1;
-            if let Some(day) = tokens.get(i + 1) {
+            if i + 1 < n {
+                let day = toks.text(i + 1);
                 // A day-of-month ("April 12") or a year ("April 2004").
-                if day.kind == TokenKind::Number && (day.text.len() <= 2 || is_year(day.text)) {
+                if toks.kind(i + 1) == TokenKind::Number && (day.len() <= 2 || is_year(day)) {
                     len = 2;
                 }
             }
             // Optional ", 2004" after a day.
-            if len == 2 && tokens.get(i + 2).is_some_and(|c| c.text == ",") {
-                if let Some(y) = tokens.get(i + 3) {
-                    if is_year(y.text) {
-                        len = 4;
-                    }
-                }
+            if len == 2
+                && i + 3 < n
+                && toks.text(i + 2) == ","
+                && is_year(toks.text(i + 3))
+            {
+                len = 4;
             }
             return Some(Candidate {
                 category: EntityCategory::Period,
@@ -465,7 +615,7 @@ impl NamedEntityRecognizer {
                 priority: 4,
             });
         }
-        if gazetteer::WEEKDAYS.contains(&t.text) {
+        if gazetteer::WEEKDAYS.contains(&text) {
             return Some(Candidate {
                 category: EntityCategory::Period,
                 token_len: 1,
@@ -473,56 +623,39 @@ impl NamedEntityRecognizer {
             });
         }
         // "fourth quarter", "last year", "this week", "fiscal 2004".
-        let lower = t.lower();
-        if matches!(
-            &*lower,
-            "first"
-                | "second"
-                | "third"
-                | "fourth"
-                | "last"
-                | "next"
-                | "this"
-                | "current"
-                | "previous"
-                | "fiscal"
-        ) {
-            if let Some(next) = tokens.get(i + 1) {
-                let nl = next.lower();
-                if gazetteer::PERIOD_WORDS.contains(&&*nl) {
-                    return Some(Candidate {
-                        category: EntityCategory::Period,
-                        token_len: 2,
-                        priority: 4,
-                    });
-                }
-                if lower == "fiscal" && is_year(next.text) {
-                    return Some(Candidate {
-                        category: EntityCategory::Period,
-                        token_len: 2,
-                        priority: 4,
-                    });
-                }
+        if lower_in(text, PERIOD_HEADS, sc) && i + 1 < n {
+            let next = toks.text(i + 1);
+            if lower_in(next, gazetteer::PERIOD_WORDS, sc) {
+                return Some(Candidate {
+                    category: EntityCategory::Period,
+                    token_len: 2,
+                    priority: 4,
+                });
+            }
+            if lower_eq(text, "fiscal", sc) && is_year(next) {
+                return Some(Candidate {
+                    category: EntityCategory::Period,
+                    token_len: 2,
+                    priority: 4,
+                });
             }
         }
         // Ordinal + quarter: "4th quarter".
-        if t.kind == TokenKind::Ordinal {
-            if let Some(next) = tokens.get(i + 1) {
-                if gazetteer::PERIOD_WORDS.contains(&next.lower().as_ref()) {
-                    return Some(Candidate {
-                        category: EntityCategory::Period,
-                        token_len: 2,
-                        priority: 4,
-                    });
-                }
-            }
+        if toks.kind(i) == TokenKind::Ordinal
+            && i + 1 < n
+            && lower_in(toks.text(i + 1), gazetteer::PERIOD_WORDS, sc)
+        {
+            return Some(Candidate {
+                category: EntityCategory::Period,
+                token_len: 2,
+                priority: 4,
+            });
         }
         None
     }
 
-    fn match_year(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
-        let t = &tokens[i];
-        if t.kind == TokenKind::Number && is_year(t.text) {
+    fn match_year<S: Toks + ?Sized>(&self, toks: &S, i: usize) -> Option<Candidate> {
+        if toks.kind(i) == TokenKind::Number && is_year(toks.text(i)) {
             return Some(Candidate {
                 category: EntityCategory::Year,
                 token_len: 1,
@@ -532,13 +665,16 @@ impl NamedEntityRecognizer {
         None
     }
 
-    fn match_length(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
-        let t = &tokens[i];
-        if !t.kind.is_numeric() {
+    fn match_length<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        i: usize,
+        sc: &mut String,
+    ) -> Option<Candidate> {
+        if !toks.kind(i).is_numeric() || i + 1 >= toks.len() {
             return None;
         }
-        let next = tokens.get(i + 1)?;
-        if gazetteer::UNITS.contains(&next.lower().as_ref()) {
+        if lower_in(toks.text(i + 1), gazetteer::UNITS, sc) {
             return Some(Candidate {
                 category: EntityCategory::Lngth,
                 token_len: 2,
@@ -548,50 +684,55 @@ impl NamedEntityRecognizer {
         None
     }
 
-    fn match_count(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
-        let t = &tokens[i];
+    fn match_count<S: Toks + ?Sized>(
+        &self,
+        toks: &S,
+        i: usize,
+        sc: &mut String,
+    ) -> Option<Candidate> {
+        let text = toks.text(i);
         // Digit + count noun: "5,000 employees".
-        if t.kind.is_numeric() && !is_year(t.text) {
-            if let Some(next) = tokens.get(i + 1) {
-                if COUNT_NOUNS.contains(&next.lower().as_ref()) {
-                    return Some(Candidate {
-                        category: EntityCategory::Cnt,
-                        token_len: 2,
-                        priority: 6,
-                    });
-                }
-            }
+        if toks.kind(i).is_numeric()
+            && !is_year(text)
+            && i + 1 < toks.len()
+            && lower_in(toks.text(i + 1), COUNT_NOUNS, sc)
+        {
+            return Some(Candidate {
+                category: EntityCategory::Cnt,
+                token_len: 2,
+                priority: 6,
+            });
         }
         // Spelled number + count noun: "three subsidiaries".
-        if gazetteer::NUMBER_WORDS.contains(&t.lower().as_ref()) {
-            if let Some(next) = tokens.get(i + 1) {
-                if COUNT_NOUNS.contains(&next.lower().as_ref()) {
-                    return Some(Candidate {
-                        category: EntityCategory::Cnt,
-                        token_len: 2,
-                        priority: 6,
-                    });
-                }
-            }
+        if lower_in(text, gazetteer::NUMBER_WORDS, sc)
+            && i + 1 < toks.len()
+            && lower_in(toks.text(i + 1), COUNT_NOUNS, sc)
+        {
+            return Some(Candidate {
+                category: EntityCategory::Cnt,
+                token_len: 2,
+                priority: 6,
+            });
         }
         None
     }
 
-    fn match_person(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
-        let t = &tokens[i];
+    fn match_person<S: Toks + ?Sized>(&self, toks: &S, i: usize) -> Option<Candidate> {
+        let n = toks.len();
+        let text = toks.text(i);
         // Honorific (+ .) + capitalised run.
-        if HONORIFICS.contains(&t.text) {
+        if HONORIFICS.contains(&text) {
             let mut j = i + 1;
-            if tokens.get(j).is_some_and(|d| d.text == ".") {
+            if j < n && toks.text(j) == "." {
                 j += 1;
             }
             let mut namelen = 0usize;
-            while namelen < 3 {
-                match tokens.get(j + namelen) {
-                    Some(tok) if tok.is_capitalized() && !self.is_nonperson_capital(tok) => {
-                        namelen += 1;
-                    }
-                    _ => break,
+            while namelen < 3 && j + namelen < n {
+                let k = j + namelen;
+                if toks.capitalized(k) && !self.is_nonperson_capital(toks.text(k)) {
+                    namelen += 1;
+                } else {
+                    break;
                 }
             }
             if namelen > 0 {
@@ -603,30 +744,28 @@ impl NamedEntityRecognizer {
             }
             return None;
         }
-        if !t.is_capitalized() {
+        if !toks.capitalized(i) {
             return None;
         }
-        let is_given = self.given_names.contains(t.text);
-        let is_surname = self.surnames.contains(t.text);
+        let is_given = self.given_names.contains(text);
+        let is_surname = self.surnames.contains(text);
         if is_given {
             // Given [Middle-initial .] Surname / Given Capitalised.
             let mut j = i + 1;
-            if let Some(mid) = tokens.get(j) {
-                if mid.text.chars().count() == 1
-                    && mid.is_capitalized()
-                    && tokens.get(j + 1).is_some_and(|d| d.text == ".")
-                {
-                    j += 2;
-                }
+            if j < n
+                && toks.text(j).chars().count() == 1
+                && toks.capitalized(j)
+                && j + 1 < n
+                && toks.text(j + 1) == "."
+            {
+                j += 2;
             }
-            if let Some(next) = tokens.get(j) {
-                if next.is_capitalized() && !self.is_nonperson_capital(next) {
-                    return Some(Candidate {
-                        category: EntityCategory::Prsn,
-                        token_len: j + 1 - i,
-                        priority: 7,
-                    });
-                }
+            if j < n && toks.capitalized(j) && !self.is_nonperson_capital(toks.text(j)) {
+                return Some(Candidate {
+                    category: EntityCategory::Prsn,
+                    token_len: j + 1 - i,
+                    priority: 7,
+                });
             }
             // Lone given name is a weak person mention.
             return Some(Candidate {
@@ -647,46 +786,46 @@ impl NamedEntityRecognizer {
 
     /// A capitalised token that should never be absorbed into a person
     /// name (known org/place/month, org suffix).
-    fn is_nonperson_capital(&self, tok: &Token<'_>) -> bool {
-        self.orgs.contains(tok.text)
-            || self.places.contains(tok.text)
-            || self.org_suffixes.contains(tok.text)
-            || gazetteer::MONTHS.contains(&tok.text)
-            || gazetteer::WEEKDAYS.contains(&tok.text)
+    fn is_nonperson_capital(&self, text: &str) -> bool {
+        self.orgs.contains(text)
+            || self.places.contains(text)
+            || self.org_suffixes.contains(text)
+            || gazetteer::MONTHS.contains(&text)
+            || gazetteer::WEEKDAYS.contains(&text)
     }
 
-    fn match_org(&self, tokens: &[Token<'_>], i: usize) -> Option<Candidate> {
+    fn match_org<S: Toks + ?Sized>(&self, toks: &S, i: usize) -> Option<Candidate> {
+        let n = toks.len();
         // Gazetteer orgs (longest match).
-        let gaz = self.match_gazetteer(&self.orgs, tokens, i, EntityCategory::Org, 20);
+        let gaz = self.match_gazetteer(&self.orgs, toks, i, EntityCategory::Org, 20);
         // Unknown capitalised run ending in an org suffix: "Zenlith
         // Systems Inc." — up to 4 tokens + suffix (+ optional dot).
-        let t = &tokens[i];
         let mut suffix_match: Option<Candidate> = None;
-        if t.is_capitalized() {
+        if toks.capitalized(i) {
             let mut run = 1usize;
-            while run < 6 {
-                match tokens.get(i + run) {
-                    Some(tok) if tok.is_capitalized() => {
-                        if self.org_suffixes.contains(tok.text) {
-                            let mut len = run + 1;
-                            // Absorb abbreviation dot: "Inc."
-                            if tokens.get(i + len).is_some_and(|d| {
-                                d.text == "." && d.start == tokens[i + len - 1].end
-                            }) {
-                                len += 1;
-                            }
-                            // Keep the longest suffix-terminated run:
-                            // "Zenlith Systems Inc." beats "Zenlith Systems".
-                            suffix_match = Some(Candidate {
-                                category: EntityCategory::Org,
-                                token_len: len,
-                                priority: 8,
-                            });
-                        }
-                        run += 1;
-                    }
-                    _ => break,
+            while run < 6 && i + run < n {
+                let k = i + run;
+                if !toks.capitalized(k) {
+                    break;
                 }
+                if self.org_suffixes.contains(toks.text(k)) {
+                    let mut len = run + 1;
+                    // Absorb abbreviation dot: "Inc."
+                    if i + len < n
+                        && toks.text(i + len) == "."
+                        && toks.start(i + len) == toks.end(i + len - 1)
+                    {
+                        len += 1;
+                    }
+                    // Keep the longest suffix-terminated run:
+                    // "Zenlith Systems Inc." beats "Zenlith Systems".
+                    suffix_match = Some(Candidate {
+                        category: EntityCategory::Org,
+                        token_len: len,
+                        priority: 8,
+                    });
+                }
+                run += 1;
             }
             // A leading org-suffix word alone ("Group said") is not an org.
         }
@@ -712,12 +851,12 @@ mod tests {
         NamedEntityRecognizer::new()
     }
 
-    fn cats(text: &str) -> Vec<(EntityCategory, String)> {
+    fn cats(text: &str) -> Vec<(EntityCategory, &str)> {
         ner().recognize_text(text)
     }
 
     fn has(text: &str, cat: EntityCategory, surface: &str) -> bool {
-        cats(text).iter().any(|(c, s)| *c == cat && s == surface)
+        cats(text).iter().any(|(c, s)| *c == cat && *s == surface)
     }
 
     #[test]
@@ -892,7 +1031,7 @@ mod tests {
         let got = cats("offices in New York City Monday");
         assert!(got
             .iter()
-            .any(|(c, s)| *c == EntityCategory::Plc && s == "New York"));
+            .any(|(c, s)| *c == EntityCategory::Plc && *s == "New York"));
     }
 
     #[test]
@@ -901,7 +1040,7 @@ mod tests {
         // The PERIOD span should absorb the year.
         assert!(got
             .iter()
-            .any(|(c, s)| *c == EntityCategory::Period && s == "April 2004"));
+            .any(|(c, s)| *c == EntityCategory::Period && *s == "April 2004"));
         assert!(!got.iter().any(|(c, _)| *c == EntityCategory::Year));
     }
 
@@ -930,7 +1069,7 @@ mod tests {
         assert!(n
             .recognize_text("Frobnicate announced")
             .iter()
-            .any(|(c, s)| *c == EntityCategory::Org && s == "Frobnicate"));
+            .any(|(c, s)| *c == EntityCategory::Org && *s == "Frobnicate"));
     }
 
     #[test]
@@ -975,5 +1114,27 @@ mod tests {
         assert!(!is_year("210"));
         assert!(!is_year("21000"));
         assert!(!is_year("20a4"));
+    }
+
+    #[test]
+    fn recognize_into_matches_recognize() {
+        use etap_text::tokenize_into;
+        let texts = [
+            "IBM paid $160 million for Daksh in April 2004, said Mr. Palmisano, CEO of IBM.",
+            "Bank of America opened 40 offices in New York City on Monday at 09:30.",
+            "Société Générale gained 5.3 percent in Q3 2005.",
+            "Zenlith Systems Inc. hired 5,000 employees for three subsidiaries.",
+        ];
+        let n = ner();
+        let mut spans = Vec::new();
+        let mut out = Vec::new();
+        let mut scratch = String::new();
+        for text in texts {
+            let toks = tokenize(text);
+            let expect = n.recognize(&toks);
+            tokenize_into(text, &mut spans);
+            n.recognize_into(text, &spans, &mut scratch, &mut out);
+            assert_eq!(out, expect, "mismatch on {text:?}");
+        }
     }
 }

@@ -15,7 +15,8 @@
 //! 4. shape rules (capitalised → np, numeric → cd),
 //! 5. default: nn.
 
-use etap_text::{Token, TokenKind};
+use etap_text::{is_capitalized, lower_into, Token, TokenKind, TokenSpan};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// Coarse part-of-speech tags (QTag-style, lowercase as in the paper).
@@ -415,25 +416,47 @@ impl PosTagger {
     /// Tag a single word (lowercased lookup, then rules).
     #[must_use]
     pub fn tag_word(&self, token: &Token<'_>) -> PosTag {
-        if token.kind == TokenKind::Punct {
+        // `String::new` does not allocate; the scratch is only written on
+        // the non-ASCII fallback inside `tag_text`.
+        let mut scratch = String::new();
+        self.tag_text(token.text, token.kind, &mut scratch)
+    }
+
+    /// Tag a word given its text and shape — the allocation-free core
+    /// shared by [`Self::tag_word`] and the span path. ASCII words (the
+    /// common case) are looked up with an in-place case-folding
+    /// comparator and byte-level suffix rules; non-ASCII words lower
+    /// through `scratch`.
+    #[must_use]
+    pub fn tag_text(&self, text: &str, kind: TokenKind, scratch: &mut String) -> PosTag {
+        if kind == TokenKind::Punct {
             return PosTag::Punct;
         }
-        if token.kind.is_numeric() {
+        if kind.is_numeric() {
             return PosTag::Cd;
         }
-        let lower = token.lower();
-        if let Ok(i) = self
-            .lexicon
-            .binary_search_by_key(&&*lower, |(w, _)| *w)
-        {
-            return self.lexicon[i].1;
-        }
-        // Morphological suffix rules on the lowercase form.
-        if let Some(tag) = suffix_rule(&lower) {
-            return tag;
+        if text.is_ascii() {
+            if let Ok(i) = self.lexicon.binary_search_by(|(w, _)| cmp_folded(w, text)) {
+                return self.lexicon[i].1;
+            }
+            if let Some(tag) = suffix_rule_ascii(text.as_bytes()) {
+                return tag;
+            }
+        } else {
+            lower_into(text, scratch);
+            if let Ok(i) = self
+                .lexicon
+                .binary_search_by(|(w, _)| (*w).cmp(scratch.as_str()))
+            {
+                return self.lexicon[i].1;
+            }
+            // Morphological suffix rules on the lowercase form.
+            if let Some(tag) = suffix_rule(scratch) {
+                return tag;
+            }
         }
         // Shape rules.
-        if token.is_capitalized() {
+        if is_capitalized(text, kind) {
             return PosTag::Np;
         }
         PosTag::Nn
@@ -444,6 +467,79 @@ impl PosTagger {
     pub fn tag(&self, tokens: &[Token<'_>]) -> Vec<PosTag> {
         tokens.iter().map(|t| self.tag_word(t)).collect()
     }
+
+    /// Tag token spans into a caller-kept vector (cleared first) — the
+    /// zero-allocation companion of [`Self::tag`].
+    pub fn tag_spans_into(
+        &self,
+        text: &str,
+        spans: &[TokenSpan],
+        scratch: &mut String,
+        out: &mut Vec<PosTag>,
+    ) {
+        out.clear();
+        out.extend(
+            spans
+                .iter()
+                .map(|s| self.tag_text(s.text(text), s.kind, scratch)),
+        );
+    }
+}
+
+/// Compare a lowercase-ASCII lexicon key against `text` folded to ASCII
+/// lowercase, without materialising the folded string. Equivalent to
+/// `w.cmp(&text.to_ascii_lowercase())`.
+fn cmp_folded(w: &str, text: &str) -> Ordering {
+    let a = w.as_bytes();
+    let b = text.as_bytes();
+    for (x, y) in a.iter().zip(b) {
+        match x.cmp(&y.to_ascii_lowercase()) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Whether ASCII bytes `s` end with lowercase suffix `suf` under ASCII
+/// case folding.
+fn ends_fold(s: &[u8], suf: &str) -> bool {
+    let suf = suf.as_bytes();
+    s.len() >= suf.len()
+        && s[s.len() - suf.len()..]
+            .iter()
+            .zip(suf)
+            .all(|(b, e)| b.to_ascii_lowercase() == *e)
+}
+
+/// [`suffix_rule`] specialised to ASCII bytes with in-place case folding;
+/// byte length equals lowered length for ASCII, so the thresholds match.
+fn suffix_rule_ascii(s: &[u8]) -> Option<PosTag> {
+    if s.len() > 4 && ends_fold(s, "ly") {
+        return Some(PosTag::Rb);
+    }
+    for suf in [
+        "tion", "sion", "ment", "ness", "ship", "ance", "ence", "ity", "ism", "ist",
+    ] {
+        if s.len() > suf.len() + 2 && ends_fold(s, suf) {
+            return Some(PosTag::Nn);
+        }
+    }
+    if s.len() > 4 && (ends_fold(s, "er") || ends_fold(s, "or")) {
+        return Some(PosTag::Nn);
+    }
+    for suf in ["ous", "ful", "ive", "able", "ible", "al", "ic", "ish"] {
+        if s.len() > suf.len() + 2 && ends_fold(s, suf) {
+            return Some(PosTag::Jj);
+        }
+    }
+    if s.len() > 4 && (ends_fold(s, "ing") || ends_fold(s, "ed")) {
+        return Some(PosTag::Vb);
+    }
+    if s.len() > 3 && ends_fold(s, "ize") {
+        return Some(PosTag::Vb);
+    }
+    None
 }
 
 /// Morphological fallback rules, ordered by reliability.
@@ -489,6 +585,20 @@ mod tests {
     fn tag_of(word: &str) -> PosTag {
         let toks = tokenize(word);
         PosTagger::new().tag_word(&toks[0])
+    }
+
+    #[test]
+    fn tag_spans_into_matches_tag() {
+        use etap_text::tokenize_into;
+        let text = "The Board ANNOUNCED sharply lower fourth-quarter résumé figures in 2004, Société Générale said.";
+        let tagger = PosTagger::new();
+        let expect = tagger.tag(&tokenize(text));
+        let mut spans = Vec::new();
+        let mut out = Vec::new();
+        let mut scratch = String::new();
+        tokenize_into(text, &mut spans);
+        tagger.tag_spans_into(text, &spans, &mut scratch, &mut out);
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! relevance to the given sales drivers."
 
 use crate::training::TrainedDriver;
-use etap_annotate::{Annotator, EntityCategory};
+use etap_annotate::{AnnotateScratch, Annotator, EntityCategory};
 use etap_classify::Classifier;
 use etap_corpus::{SalesDriver, SyntheticDoc};
 use etap_features::VectorScratch;
@@ -112,9 +112,12 @@ impl EventIdentifier {
         docs: &[SyntheticDoc],
         threads: usize,
     ) -> Vec<TriggerEvent> {
-        let per_doc = etap_runtime::par_map_with(docs, threads, VectorScratch::new, |sc, doc| {
-            self.identify_doc(drivers, doc, sc)
-        });
+        let per_doc = etap_runtime::par_map_with(
+            docs,
+            threads,
+            || (VectorScratch::new(), AnnotateScratch::new()),
+            |(vs, asc), doc| self.identify_doc(drivers, doc, vs, asc),
+        );
         per_doc.into_iter().flatten().collect()
     }
 
@@ -123,6 +126,7 @@ impl EventIdentifier {
         drivers: &[TrainedDriver<M>],
         doc: &SyntheticDoc,
         scratch: &mut VectorScratch,
+        ann_scratch: &mut AnnotateScratch,
     ) -> Vec<TriggerEvent> {
         let mut events = Vec::new();
         let text = doc.text();
@@ -133,7 +137,7 @@ impl EventIdentifier {
         for snip in snippets {
             let ann = {
                 let _t = STAGE_ANNOTATE.scope();
-                self.annotator.annotate(&snip.text)
+                self.annotator.annotate_with(&snip.text, ann_scratch)
             };
             // Annotate once per snippet, score once per driver. The ORG
             // surface strings are only materialized once some driver
@@ -146,7 +150,7 @@ impl EventIdentifier {
                 if score >= self.threshold {
                     let _t = STAGE_EVENTS.scope();
                     let companies = companies.get_or_insert_with(|| {
-                        ann.entities
+                        ann.entities()
                             .iter()
                             .enumerate()
                             .filter(|(_, e)| e.category == EntityCategory::Org)

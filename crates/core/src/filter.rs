@@ -69,7 +69,7 @@ impl Filter {
         match self {
             Filter::Category(c) => snip.contains_category(*c),
             Filter::AtLeast(c, n) => snip.count_category(*c) >= *n,
-            Filter::Keyword(w) => snip.tokens.iter().any(|t| t.text.eq_ignore_ascii_case(w)),
+            Filter::Keyword(w) => snip.tokens().any(|t| t.text.eq_ignore_ascii_case(w)),
             Filter::And(a, b) => a.matches(snip) && b.matches(snip),
             Filter::Or(a, b) => a.matches(snip) || b.matches(snip),
             Filter::Not(a) => !a.matches(snip),

@@ -204,7 +204,7 @@ impl TemporalResolver {
     /// resolved dates in document order.
     #[must_use]
     pub fn resolve_snippet(&self, snip: &AnnotatedSnippet, reference: Date) -> Vec<Date> {
-        snip.entities
+        snip.entities()
             .iter()
             .enumerate()
             .filter(|(_, e)| matches!(e.category, EntityCategory::Year | EntityCategory::Period))

@@ -22,7 +22,7 @@
 //!    from [`etap_classify::denoise`].
 
 use crate::spec::DriverSpec;
-use etap_annotate::{AnnotatedSnippet, Annotator};
+use etap_annotate::{AnnotateScratch, AnnotatedSnippet, Annotator};
 use etap_classify::denoise::{DenoiseConfig, IterativeDenoiser};
 use etap_classify::{Classifier, MultinomialNb, Trainer};
 use etap_corpus::{SearchEngine, SyntheticWeb};
@@ -134,10 +134,10 @@ impl<M: Classifier> TrainedDriver<M> {
     pub fn score_with(&self, snip: &AnnotatedSnippet, scratch: &mut VectorScratch) -> f64 {
         let v = {
             let _t = STAGE_VECTORIZE.scope();
-            self.vectorizer.vectorize_frozen(snip, scratch)
+            self.vectorizer.vectorize_frozen_into(snip, scratch)
         };
         let _t = STAGE_POSTERIOR.scope();
-        self.model.posterior(&v)
+        self.model.posterior(v)
     }
 
     /// Score every snippet on up to `threads` worker threads (`0` = the
@@ -210,19 +210,24 @@ pub fn harvest_noisy_positives(
     // Distill + annotate + filter each document independently in
     // parallel; the ordered merge makes the harvest identical to the
     // sequential document loop for any thread count.
-    let per_doc = etap_runtime::par_map(&doc_ids, config.threads, |&id| {
-        let text = web.doc(id).text();
-        let mut considered = 0usize;
-        let mut kept: Vec<(AnnotatedSnippet, String)> = Vec::new();
-        for snip in snipgen.snippets(&text) {
-            considered += 1;
-            let ann = annotator.annotate(&snip.text);
-            if spec.snippet_filter.matches(&ann) {
-                kept.push((ann, snip.text));
+    let per_doc = etap_runtime::par_map_with(
+        &doc_ids,
+        config.threads,
+        AnnotateScratch::new,
+        |sc, &id| {
+            let text = web.doc(id).text();
+            let mut considered = 0usize;
+            let mut kept: Vec<(AnnotatedSnippet, String)> = Vec::new();
+            for snip in snipgen.snippets(&text) {
+                considered += 1;
+                let ann = annotator.annotate_with(&snip.text, sc);
+                if spec.snippet_filter.matches(&ann) {
+                    kept.push((ann, snip.text));
+                }
             }
-        }
-        (considered, kept)
-    });
+            (considered, kept)
+        },
+    );
 
     let mut noisy = Vec::new();
     let mut noisy_texts = Vec::new();
@@ -263,20 +268,25 @@ pub fn collect_pure_positives(
     // Annotate each candidate document's trigger snippets in parallel;
     // the ordered merge keeps the pool in document order, so the
     // RNG subsample below sees the exact sequential pool.
-    let per_doc = etap_runtime::par_map(&docs, config.threads, |doc| {
-        let text = doc.text();
-        let mut kept: Vec<AnnotatedSnippet> = Vec::new();
-        for snip in snipgen.snippets(&text) {
-            if doc
-                .trigger_sentences
-                .iter()
-                .any(|t| snip.text.contains(t.as_str()))
-            {
-                kept.push(annotator.annotate(&snip.text));
+    let per_doc = etap_runtime::par_map_with(
+        &docs,
+        config.threads,
+        AnnotateScratch::new,
+        |sc, doc| {
+            let text = doc.text();
+            let mut kept: Vec<AnnotatedSnippet> = Vec::new();
+            for snip in snipgen.snippets(&text) {
+                if doc
+                    .trigger_sentences
+                    .iter()
+                    .any(|t| snip.text.contains(t.as_str()))
+                {
+                    kept.push(annotator.annotate_with(&snip.text, sc));
+                }
             }
-        }
-        kept
-    });
+            kept
+        },
+    );
     let mut pool: Vec<AnnotatedSnippet> = per_doc.into_iter().flatten().collect();
     // Uniformly subsample to the requested size.
     while pool.len() > config.pure_positives {
@@ -312,30 +322,35 @@ pub fn sample_negatives(
     let snipgen = SnippetGenerator::new(config.snippet_window);
     let seed = config.seed ^ 0x9E6A71;
     let n_chunks = target.div_ceil(NEGATIVE_CHUNK);
-    let chunks = etap_runtime::par_chunk_map(n_chunks, config.threads, |ci| {
-        let mut rng = Rng::stream(seed, ci as u64);
-        let want = NEGATIVE_CHUNK.min(target - ci * NEGATIVE_CHUNK);
-        let mut out = Vec::with_capacity(want);
-        // Rejection sampling with a per-chunk attempt guard so a web of
-        // mostly-excluded documents terminates (matching the old global
-        // `target * 20` guard proportionally).
-        let mut guard = 0usize;
-        while out.len() < want && guard < want * 20 {
-            guard += 1;
-            let id = rng.gen_range(0..web.len());
-            if exclude_doc(id) {
-                continue;
+    let chunks = etap_runtime::par::par_chunk_map_with(
+        n_chunks,
+        config.threads,
+        AnnotateScratch::new,
+        |sc, ci| {
+            let mut rng = Rng::stream(seed, ci as u64);
+            let want = NEGATIVE_CHUNK.min(target - ci * NEGATIVE_CHUNK);
+            let mut out = Vec::with_capacity(want);
+            // Rejection sampling with a per-chunk attempt guard so a web of
+            // mostly-excluded documents terminates (matching the old global
+            // `target * 20` guard proportionally).
+            let mut guard = 0usize;
+            while out.len() < want && guard < want * 20 {
+                guard += 1;
+                let id = rng.gen_range(0..web.len());
+                if exclude_doc(id) {
+                    continue;
+                }
+                let text = web.doc(id).text();
+                let snippets = snipgen.snippets(&text);
+                if snippets.is_empty() {
+                    continue;
+                }
+                let pick = rng.gen_range(0..snippets.len());
+                out.push(annotator.annotate_with(&snippets[pick].text, sc));
             }
-            let text = web.doc(id).text();
-            let snippets = snipgen.snippets(&text);
-            if snippets.is_empty() {
-                continue;
-            }
-            let pick = rng.gen_range(0..snippets.len());
-            out.push(annotator.annotate(&snippets[pick].text));
-        }
-        out
-    });
+            out
+        },
+    );
     chunks.into_iter().flatten().collect()
 }
 

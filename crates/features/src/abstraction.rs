@@ -314,15 +314,14 @@ impl RigAnalysis {
 fn category_instances(category: AbstractionCategory, snip: &AnnotatedSnippet) -> Vec<String> {
     match category {
         AbstractionCategory::Entity(cat) => snip
-            .entities
+            .entities()
             .iter()
             .enumerate()
             .filter(|(_, e)| e.category == cat)
             .map(|(ei, _)| snip.entity_text(ei).to_lowercase())
             .collect(),
         AbstractionCategory::Pos(tag) => snip
-            .tokens
-            .iter()
+            .tokens()
             .filter(|t| t.entity.is_none() && t.pos == tag)
             .map(|t| stem(&t.text.to_lowercase()))
             .collect(),

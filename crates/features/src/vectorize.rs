@@ -39,15 +39,10 @@ impl SparseVec {
     /// fresh working buffer per snippet.
     #[must_use]
     pub fn from_pairs_buf(pairs: &mut Vec<(u32, f32)>) -> Self {
-        pairs.sort_unstable_by_key(|&(id, _)| id);
-        let mut out: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
-        for &(id, c) in pairs.iter() {
-            match out.last_mut() {
-                Some((last_id, last_c)) if *last_id == id => *last_c += c,
-                _ => out.push((id, c)),
-            }
+        canonicalize(pairs);
+        Self {
+            pairs: pairs.clone(),
         }
-        Self { pairs: out }
     }
 
     /// Iterate (id, count) pairs in id order.
@@ -98,6 +93,25 @@ impl SparseVec {
             pairs: self.pairs.iter().map(|&(id, _)| (id, 1.0)).collect(),
         }
     }
+}
+
+/// Sort by id and sum duplicates **in place** — the allocation-free
+/// core shared by [`SparseVec::from_pairs_buf`] (which then copies the
+/// canonical slice out) and the borrowed-output scoring path (which
+/// swaps the canonical buffer into a scratch-owned [`SparseVec`]).
+fn canonicalize(pairs: &mut Vec<(u32, f32)>) {
+    pairs.sort_unstable_by_key(|&(id, _)| id);
+    let mut w = 0usize;
+    for r in 0..pairs.len() {
+        let (id, c) = pairs[r];
+        if w > 0 && pairs[w - 1].0 == id {
+            pairs[w - 1].1 += c;
+        } else {
+            pairs[w] = (id, c);
+            w += 1;
+        }
+    }
+    pairs.truncate(w);
 }
 
 impl FromIterator<(u32, f32)> for SparseVec {
@@ -215,6 +229,7 @@ impl Vectorizer {
             walk,
             pairs,
             seen_tags,
+            ..
         } = scratch;
         walk_features(policy, *bigrams, snip, walk, |feat, once| {
             let id = if frozen {
@@ -249,11 +264,34 @@ impl Vectorizer {
             self.frozen,
             "vectorize_frozen requires a frozen vocabulary (call freeze() after training)"
         );
+        self.vectorize_frozen_into(snip, scratch).clone()
+    }
+
+    /// Like [`Vectorizer::vectorize_frozen`], but the result is
+    /// **borrowed from the scratch** instead of freshly allocated: the
+    /// canonical (sorted, deduplicated) pair buffer is swapped into a
+    /// scratch-owned [`SparseVec`] whose storage is recycled on the next
+    /// call. This is the zero-allocation scoring path — after warm-up,
+    /// vectorizing a snippet allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if the vocabulary is not frozen.
+    #[must_use]
+    pub fn vectorize_frozen_into<'s>(
+        &self,
+        snip: &AnnotatedSnippet,
+        scratch: &'s mut VectorScratch,
+    ) -> &'s SparseVec {
+        assert!(
+            self.frozen,
+            "vectorize_frozen requires a frozen vocabulary (call freeze() after training)"
+        );
         scratch.reset();
         let VectorScratch {
             walk,
             pairs,
             seen_tags,
+            out,
         } = scratch;
         walk_features(&self.policy, self.bigrams, snip, walk, |feat, once| {
             if let Some(id) = self.vocab.get(feat) {
@@ -266,7 +304,12 @@ impl Vectorizer {
                 pairs.push((id, 1.0));
             }
         });
-        SparseVec::from_pairs_buf(pairs)
+        canonicalize(pairs);
+        // Swap rather than copy: `out` hands its previous (cleared-on-
+        // next-reset) buffer back to `pairs`, so both capacities are
+        // retained across snippets and nothing is allocated.
+        std::mem::swap(&mut out.pairs, pairs);
+        out
     }
 
     /// Vectorize a batch of snippets on up to `threads` worker threads
@@ -372,6 +415,7 @@ pub struct VectorScratch {
     walk: WalkScratch,
     pairs: Vec<(u32, f32)>,
     seen_tags: Vec<u32>,
+    out: SparseVec,
 }
 
 impl VectorScratch {
@@ -431,7 +475,7 @@ fn walk_features(
     // category occur — otherwise entity-dense background text (market
     // roundups naming five companies) gets its NE:ORG evidence
     // multiplied and swamps the event vocabulary.
-    for ent in snip.entities.iter() {
+    for ent in snip.entities().iter() {
         feature.clear();
         match policy.entity_choice(ent.category) {
             CategoryChoice::Abstract => {
@@ -445,7 +489,7 @@ fn walk_features(
                     if k > 0 {
                         feature.push(' ');
                     }
-                    lower_into(&snip.tokens[ti].text, lower);
+                    lower_into(snip.token_text(ti), lower);
                     feature.push_str(lower);
                 }
                 emit(feature, false);
@@ -456,7 +500,7 @@ fn walk_features(
 
     // Token-level features for tokens outside entities.
     let mut last_instance: Option<usize> = None;
-    for (ti, tok) in snip.tokens.iter().enumerate() {
+    for (ti, tok) in snip.tokens().enumerate() {
         if tok.entity.is_some() || tok.pos == PosTag::Punct {
             continue;
         }
@@ -467,7 +511,7 @@ fn walk_features(
                 feature.push_str(tok.pos.tag());
             }
             CategoryChoice::Instance => {
-                lower_into(&tok.text, lower);
+                lower_into(tok.text, lower);
                 if is_stopword(lower) {
                     continue;
                 }

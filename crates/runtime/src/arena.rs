@@ -1,0 +1,134 @@
+//! Recyclable bump arena for batch-owned buffers.
+//!
+//! The annotation hot path wants to *own* text (annotated snippets cross the
+//! batch boundary and outlive the input slice) without paying a heap
+//! allocation per snippet. The [`Arena`] here is the safe-code answer: it
+//! holds one `Arc<T>` buffer, hands out exclusive fill access while nobody
+//! else holds a handle, and **recycles the buffer in place** (keeping its
+//! capacity) the next time it is filled. Consumers that need the data to
+//! survive call [`Arena::share`] and keep the `Arc`; the moment a shared
+//! handle is still alive at the next fill, the arena transparently spills to
+//! a fresh buffer instead of clobbering live data.
+//!
+//! Steady-state pattern (the scan loop):
+//!
+//! ```text
+//! loop {                         // one snippet per iteration
+//!     let buf = arena.fill();    // refcount == 1 → recycled in place
+//!     …write snippet into buf…
+//!     let snip = arena.share();  // refcount == 2
+//!     …score snip, drop it…      // refcount back to 1
+//! }                              // zero allocations after warm-up
+//! ```
+//!
+//! Batch pattern (`annotate_batch`): fill a whole chunk into one buffer,
+//! then share it once per snippet — the arena resets per chunk, and a chunk
+//! whose snippets are retained simply costs one spill.
+
+use std::sync::Arc;
+
+/// A buffer that can be reset in place, keeping its allocations.
+///
+/// `recycle` must leave the value observationally equal to
+/// `Self::default()` while retaining capacity (e.g. `Vec::clear`,
+/// `String::clear`).
+pub trait Recycle: Default + Send + Sync {
+    /// Clear contents in place without releasing capacity.
+    fn recycle(&mut self);
+}
+
+/// A single-slot recyclable arena over `Arc<T>`.
+///
+/// See the [module docs](self) for the usage pattern. The arena itself is
+/// per-worker state (one per [`crate::par_map_with`] worker); the shared
+/// handles it produces are `Send + Sync`.
+#[derive(Debug)]
+pub struct Arena<T: Recycle> {
+    slot: Arc<T>,
+}
+
+impl<T: Recycle> Arena<T> {
+    /// Create an arena with one empty buffer.
+    pub fn new() -> Self {
+        Self {
+            slot: Arc::new(T::default()),
+        }
+    }
+
+    /// Exclusive access to a recycled (empty, capacity-preserving) buffer.
+    ///
+    /// If a previously [`share`](Self::share)d handle is still alive, the
+    /// arena spills: it allocates a fresh buffer and leaves the shared data
+    /// untouched. Otherwise the existing buffer is cleared in place and no
+    /// allocation happens.
+    pub fn fill(&mut self) -> &mut T {
+        if Arc::get_mut(&mut self.slot).is_none() {
+            // A consumer still holds the previous buffer: spill.
+            self.slot = Arc::new(T::default());
+        }
+        let buf = Arc::get_mut(&mut self.slot).expect("arena slot is unique after spill check");
+        buf.recycle();
+        buf
+    }
+
+    /// A shared handle to the current buffer (cheap refcount bump).
+    pub fn share(&self) -> Arc<T> {
+        Arc::clone(&self.slot)
+    }
+}
+
+impl<T: Recycle> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Buf(Vec<u8>);
+
+    impl Recycle for Buf {
+        fn recycle(&mut self) {
+            self.0.clear();
+        }
+    }
+
+    #[test]
+    fn fill_recycles_in_place_when_unshared() {
+        let mut arena: Arena<Buf> = Arena::new();
+        arena.fill().0.extend_from_slice(b"hello");
+        let first = Arc::as_ptr(&arena.share()) as usize;
+        // The handle above is dropped immediately, so the next fill reuses
+        // the same allocation and sees an empty buffer.
+        let buf = arena.fill();
+        assert!(buf.0.is_empty());
+        buf.0.extend_from_slice(b"world");
+        assert_eq!(Arc::as_ptr(&arena.share()) as usize, first);
+    }
+
+    #[test]
+    fn fill_spills_when_a_handle_is_alive() {
+        let mut arena: Arena<Buf> = Arena::new();
+        arena.fill().0.extend_from_slice(b"keep me");
+        let kept = arena.share();
+        let buf = arena.fill();
+        assert!(buf.0.is_empty());
+        buf.0.extend_from_slice(b"new data");
+        // The retained handle still sees its original contents.
+        assert_eq!(&kept.0, b"keep me");
+        assert_eq!(&arena.share().0, b"new data");
+        assert!(!Arc::ptr_eq(&kept, &arena.share()));
+    }
+
+    #[test]
+    fn capacity_is_preserved_across_recycles() {
+        let mut arena: Arena<Buf> = Arena::new();
+        arena.fill().0.reserve(4096);
+        let cap = arena.fill().0.capacity();
+        assert!(cap >= 4096);
+        assert_eq!(arena.fill().0.capacity(), cap);
+    }
+}

@@ -35,5 +35,7 @@ pub use sentence::{SentenceChunker, SentenceSpan};
 pub use snippet::{Snippet, SnippetGenerator};
 pub use stem::{stem, stem_with};
 pub use stopwords::is_stopword;
-pub use token::{lower_cow, lower_into, tokenize, Token, TokenKind};
+pub use token::{
+    is_capitalized, lower_cow, lower_into, tokenize, tokenize_into, Token, TokenKind, TokenSpan,
+};
 pub use vocab::{TermId, Vocabulary};

@@ -92,10 +92,53 @@ impl<'a> Token<'a> {
     /// Whether the token starts with an uppercase letter.
     #[must_use]
     pub fn is_capitalized(&self) -> bool {
-        matches!(
-            self.kind,
-            TokenKind::Capitalized | TokenKind::AllCaps | TokenKind::MixedCase
-        ) && self.text.chars().next().is_some_and(char::is_uppercase)
+        is_capitalized(self.text, self.kind)
+    }
+}
+
+/// Whether a word with shape `kind` and text `text` starts with an
+/// uppercase letter — the span-based equivalent of
+/// [`Token::is_capitalized`] for code that works over [`TokenSpan`]s.
+#[must_use]
+pub fn is_capitalized(text: &str, kind: TokenKind) -> bool {
+    matches!(
+        kind,
+        TokenKind::Capitalized | TokenKind::AllCaps | TokenKind::MixedCase
+    ) && text.chars().next().is_some_and(char::is_uppercase)
+}
+
+/// A token as a `(start, end, kind)` span over external text — the
+/// structure-of-arrays form of [`Token`] used by the zero-allocation
+/// annotation path. Spans never own text; they are resolved against the
+/// snippet buffer on demand, so tokenizing allocates nothing beyond the
+/// caller's reused span vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TokenSpan {
+    /// Byte offset of the first byte of the token in the source.
+    pub start: u32,
+    /// Byte offset one past the last byte of the token.
+    pub end: u32,
+    /// Lexical shape.
+    pub kind: TokenKind,
+}
+
+impl TokenSpan {
+    /// Resolve the span against its source text.
+    #[must_use]
+    pub fn text<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start as usize..self.end as usize]
+    }
+
+    /// Length of the token in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span is empty (never true for tokenizer output).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
     }
 }
 
@@ -133,6 +176,54 @@ pub fn lower_into(text: &str, out: &mut String) {
         }
     } else {
         out.extend(text.chars().flat_map(char::to_lowercase));
+    }
+}
+
+/// Shape classification for all-ASCII word tokens, operating directly on
+/// bytes. Must stay byte-identical to [`classify_word`] on ASCII input
+/// (for ASCII the Unicode case/alpha/digit predicates *are* the ASCII
+/// ones); the property suite in `tests/tokenizer_parity.rs` holds the two
+/// together.
+fn classify_ascii(word: &[u8]) -> TokenKind {
+    let has_digit = word.iter().any(u8::is_ascii_digit);
+    let has_alpha = word.iter().any(u8::is_ascii_alphabetic);
+
+    if has_digit && has_alpha {
+        let digits_end = word
+            .iter()
+            .position(|b| !b.is_ascii_digit())
+            .unwrap_or(word.len());
+        if digits_end > 0 {
+            if let &[a, b] = &word[digits_end..] {
+                if matches!(
+                    (a.to_ascii_lowercase(), b.to_ascii_lowercase()),
+                    (b's', b't') | (b'n', b'd') | (b'r', b'd') | (b't', b'h')
+                ) {
+                    return TokenKind::Ordinal;
+                }
+            }
+        }
+        return TokenKind::Alphanumeric;
+    }
+    if has_digit {
+        if word.contains(&b'.') || word.contains(&b',') {
+            return TokenKind::DecimalNumber;
+        }
+        return TokenKind::Number;
+    }
+    if word[0].is_ascii_uppercase() {
+        let rest = &word[1..];
+        if word.len() >= 2 && rest.iter().all(u8::is_ascii_uppercase) {
+            TokenKind::AllCaps
+        } else if rest.iter().all(|b| !b.is_ascii_uppercase()) {
+            TokenKind::Capitalized
+        } else {
+            TokenKind::MixedCase
+        }
+    } else if word[1..].iter().any(u8::is_ascii_uppercase) {
+        TokenKind::MixedCase
+    } else {
+        TokenKind::Lower
     }
 }
 
@@ -226,43 +317,201 @@ fn continues(prev: char, c: char, next: Option<char>) -> bool {
 #[must_use]
 pub fn tokenize(text: &str) -> Vec<Token<'_>> {
     let mut tokens = Vec::with_capacity(text.len() / 5);
-    let mut iter = text.char_indices().peekable();
+    tokenize_core(text, |start, end, kind| {
+        tokens.push(Token {
+            text: &text[start..end],
+            start,
+            end,
+            kind,
+        });
+    });
+    tokens
+}
 
-    while let Some((start, c)) = iter.next() {
-        if c.is_whitespace() || c.is_control() {
+/// Tokenize `text` into a caller-kept span vector (cleared first): the
+/// zero-allocation companion of [`tokenize`] for the annotation hot path.
+/// Spans carry the same boundaries, order and shapes as [`tokenize`]
+/// output; resolve them with [`TokenSpan::text`].
+pub fn tokenize_into(text: &str, out: &mut Vec<TokenSpan>) {
+    debug_assert!(u32::try_from(text.len()).is_ok(), "snippet exceeds u32 span range");
+    out.clear();
+    tokenize_core(text, |start, end, kind| {
+        out.push(TokenSpan {
+            start: start as u32,
+            end: end as u32,
+            kind,
+        });
+    });
+}
+
+/// Decode the character starting at byte `i` (must be a char boundary).
+#[inline]
+fn char_after(text: &str, i: usize) -> Option<char> {
+    text[i..].chars().next()
+}
+
+/// Extend a word token starting at `start` (first char `first` already
+/// accepted). Returns the end offset and whether every consumed byte was
+/// ASCII. The joiner rules mirror [`continues`]: apostrophes between
+/// letters, hyphens between alphanumerics, `.`/`,` inside digit runs.
+fn scan_word(text: &str, start: usize, first: char) -> (usize, bool) {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let mut end = start + first.len_utf8();
+    let mut ascii = first.is_ascii();
+    let mut prev = first;
+    while end < n {
+        let b = bytes[end];
+        if b.is_ascii_alphanumeric() {
+            prev = b as char;
+            end += 1;
             continue;
         }
-        if c.is_alphanumeric() {
-            let mut end = start + c.len_utf8();
-            let mut prev = c;
-            while let Some(&(i, nc)) = iter.peek() {
-                let next = text[i + nc.len_utf8()..].chars().next();
-                if continues(prev, nc, next) {
-                    end = i + nc.len_utf8();
-                    prev = nc;
-                    iter.next();
-                } else {
-                    break;
+        if b < 0x80 {
+            let joins = match b {
+                b'\'' => {
+                    prev.is_alphabetic()
+                        && char_after(text, end + 1).is_some_and(char::is_alphabetic)
                 }
+                b'-' => {
+                    prev.is_alphanumeric()
+                        && char_after(text, end + 1).is_some_and(char::is_alphanumeric)
+                }
+                b'.' | b',' => {
+                    prev.is_ascii_digit()
+                        && char_after(text, end + 1).is_some_and(|c| c.is_ascii_digit())
+                }
+                _ => false,
+            };
+            if !joins {
+                break;
             }
-            let tok = &text[start..end];
-            tokens.push(Token {
-                text: tok,
-                start,
-                end,
-                kind: classify_word(tok),
-            });
+            prev = b as char;
+            end += 1;
         } else {
-            let end = start + c.len_utf8();
-            tokens.push(Token {
-                text: &text[start..end],
-                start,
-                end,
-                kind: TokenKind::Punct,
-            });
+            let c = char_after(text, end).expect("end is a char boundary inside text");
+            let w = c.len_utf8();
+            if c.is_alphanumeric() {
+                prev = c;
+                ascii = false;
+                end += w;
+            } else if c == '\u{2019}'
+                && prev.is_alphabetic()
+                && char_after(text, end + w).is_some_and(char::is_alphabetic)
+            {
+                prev = c;
+                ascii = false;
+                end += w;
+            } else {
+                break;
+            }
         }
     }
-    tokens
+    (end, ascii)
+}
+
+/// Byte-cursor tokenizer core shared by [`tokenize`] and
+/// [`tokenize_into`]. ASCII text never decodes a `char` on the skip and
+/// word paths; non-ASCII characters fall back to the exact Unicode
+/// predicates of the original char-iterator implementation (kept as
+/// [`reference::tokenize`], the executable spec for the parity suite).
+#[inline]
+fn tokenize_core(text: &str, mut push: impl FnMut(usize, usize, TokenKind)) {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let mut i = 0;
+    while i < n {
+        let b = bytes[i];
+        if b < 0x80 {
+            // ASCII whitespace + control is exactly 0x00..=0x20 and 0x7F.
+            if b <= b' ' || b == 0x7f {
+                i += 1;
+            } else if b.is_ascii_alphanumeric() {
+                let (end, ascii) = scan_word(text, i, b as char);
+                let kind = if ascii {
+                    classify_ascii(&bytes[i..end])
+                } else {
+                    classify_word(&text[i..end])
+                };
+                push(i, end, kind);
+                i = end;
+            } else {
+                push(i, i + 1, TokenKind::Punct);
+                i += 1;
+            }
+            continue;
+        }
+        let c = char_after(text, i).expect("i is a char boundary inside text");
+        let w = c.len_utf8();
+        if c.is_whitespace() || c.is_control() {
+            i += w;
+        } else if c.is_alphanumeric() {
+            let (end, ascii) = scan_word(text, i, c);
+            let kind = if ascii {
+                classify_ascii(&bytes[i..end])
+            } else {
+                classify_word(&text[i..end])
+            };
+            push(i, end, kind);
+            i = end;
+        } else {
+            push(i, i + w, TokenKind::Punct);
+            i += w;
+        }
+    }
+}
+
+/// The original character-iterator tokenizer, kept verbatim as the
+/// executable specification for the byte-level scanner. The parity
+/// property suite asserts `tokenize ≡ reference::tokenize` on arbitrary
+/// input (including UTF-8 multibyte and char-boundary edge cases); it is
+/// not used by the pipeline itself.
+#[doc(hidden)]
+pub mod reference {
+    use super::{classify_word, continues, Token, TokenKind};
+
+    /// Char-iterator tokenizer (pre-byte-scanner implementation).
+    #[must_use]
+    pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+        let mut tokens = Vec::with_capacity(text.len() / 5);
+        let mut iter = text.char_indices().peekable();
+
+        while let Some((start, c)) = iter.next() {
+            if c.is_whitespace() || c.is_control() {
+                continue;
+            }
+            if c.is_alphanumeric() {
+                let mut end = start + c.len_utf8();
+                let mut prev = c;
+                while let Some(&(i, nc)) = iter.peek() {
+                    let next = text[i + nc.len_utf8()..].chars().next();
+                    if continues(prev, nc, next) {
+                        end = i + nc.len_utf8();
+                        prev = nc;
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = &text[start..end];
+                tokens.push(Token {
+                    text: tok,
+                    start,
+                    end,
+                    kind: classify_word(tok),
+                });
+            } else {
+                let end = start + c.len_utf8();
+                tokens.push(Token {
+                    text: &text[start..end],
+                    start,
+                    end,
+                    kind: TokenKind::Punct,
+                });
+            }
+        }
+        tokens
+    }
 }
 
 #[cfg(test)]
@@ -397,5 +646,54 @@ mod tests {
         assert!(tokenize("IBM")[0].is_capitalized());
         assert!(tokenize("Daksh")[0].is_capitalized());
         assert!(!tokenize("daksh")[0].is_capitalized());
+    }
+
+    #[test]
+    fn tokenize_into_matches_tokenize() {
+        let src = "IBM's Q3: Société Générale gained 5.3% — $1,200,000 (pre- and post-merger), O'Brien's 4th deal.";
+        let toks = tokenize(src);
+        let mut spans = Vec::new();
+        tokenize_into(src, &mut spans);
+        assert_eq!(spans.len(), toks.len());
+        for (s, t) in spans.iter().zip(&toks) {
+            assert_eq!(s.start as usize, t.start);
+            assert_eq!(s.end as usize, t.end);
+            assert_eq!(s.kind, t.kind);
+            assert_eq!(s.text(src), t.text);
+        }
+    }
+
+    #[test]
+    fn tokenize_into_reuses_the_buffer() {
+        let mut spans = Vec::new();
+        tokenize_into("one two three four five", &mut spans);
+        assert_eq!(spans.len(), 5);
+        let cap = spans.capacity();
+        tokenize_into("six", &mut spans);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans.capacity(), cap);
+    }
+
+    #[test]
+    fn byte_scanner_matches_reference_on_curated_edges() {
+        let cases = [
+            "",
+            "   \t\n ",
+            "plain ascii words only",
+            "IBM acquired Daksh for $160 million.",
+            "up 5.3 percent, down 1,200,000",
+            "O'Brien's firm \u{2019}quoted\u{2019} word\u{2019}s end\u{2019}",
+            "pre- and post-merger B2B 4th 22nd Q3",
+            "Société Générale — café naïve Ёлка 中文分词",
+            "€5 and $7 and ₹9",
+            "mixed中ascii and 5中3 and a\u{2019}中",
+            "trailing' and -leading and 10. end,",
+            "\u{0B}vertical\u{7f}tab\u{85}next\u{a0}line",
+        ];
+        for src in cases {
+            let a = tokenize(src);
+            let b = reference::tokenize(src);
+            assert_eq!(a, b, "tokenizer mismatch on {src:?}");
+        }
     }
 }

@@ -1,0 +1,94 @@
+//! Property tests: the byte-level scanner (`tokenize` / `tokenize_into`)
+//! must be observably identical to the original char-iterator tokenizer,
+//! kept in-tree as `token::reference::tokenize` as the executable spec.
+//!
+//! The repo's zero-dependency policy rules out `proptest`, so these use
+//! the in-tree seeded PRNG: thousands of random texts drawn from an
+//! alphabet stacked with the hard cases — joiners, digit separators,
+//! control bytes, multibyte letters, combining marks — plus boundary
+//! slices of those texts to probe mid-string starts.
+
+use etap_runtime::Rng;
+use etap_text::{tokenize, tokenize_into, TokenSpan};
+
+/// Alphabet biased toward tokenizer edge cases. ASCII letters/digits
+/// appear several times so words form often; the tail carries every
+/// special class the scanner branches on.
+const ALPHABET: &[char] = &[
+    'a', 'b', 'c', 'e', 'n', 'r', 's', 't', 'd', 'h', // word-formers
+    'A', 'B', 'I', 'M', 'Q', // capitals (AllCaps, Capitalized)
+    '0', '1', '2', '5', '9', // digits (ordinals, times, decimals)
+    ' ', ' ', ' ', '\t', '\n', // whitespace (dense)
+    '.', ',', '\'', '-', ':', '$', '%', '(', ')', // joiners + punct
+    '\u{0B}', '\u{7f}', '\u{85}', '\u{a0}', // exotic space/control
+    '\u{2019}', // curly apostrophe joiner
+    'é', 'ü', 'ß', '中', '日', 'Σ', 'σ', 'ς', // multibyte letters
+    '\u{0301}', // combining acute (non-alphanumeric, non-space)
+    '€', '—', '…', // multibyte punctuation
+    '\u{1F600}', // 4-byte scalar
+];
+
+fn arb_text(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len);
+    (0..len)
+        .map(|_| *rng.choose(ALPHABET).expect("non-empty alphabet"))
+        .collect()
+}
+
+/// The three public views must agree exactly: the reference iterator
+/// (old implementation), the byte scanner, and the span writer.
+fn assert_parity(text: &str) {
+    let reference = etap_text::token::reference::tokenize(text);
+    let scanned = tokenize(text);
+    assert_eq!(
+        scanned, reference,
+        "byte scanner diverged from reference on {text:?}"
+    );
+
+    let mut spans: Vec<TokenSpan> = Vec::new();
+    tokenize_into(text, &mut spans);
+    assert_eq!(spans.len(), reference.len(), "span count on {text:?}");
+    for (span, tok) in spans.iter().zip(&reference) {
+        assert_eq!(span.start as usize, tok.start, "start on {text:?}");
+        assert_eq!(span.end as usize, tok.end, "end on {text:?}");
+        assert_eq!(span.kind, tok.kind, "kind on {text:?}");
+        assert_eq!(span.text(text), tok.text, "surface on {text:?}");
+    }
+}
+
+#[test]
+fn random_texts_tokenize_identically() {
+    let mut rng = Rng::seed_from_u64(0x746f6b); // "tok"
+    for _ in 0..4000 {
+        let text = arb_text(&mut rng, 60);
+        assert_parity(&text);
+    }
+}
+
+#[test]
+fn random_ascii_texts_tokenize_identically() {
+    // Pure-ASCII inputs drive the scanner's fast path end to end.
+    let mut rng = Rng::seed_from_u64(0x61736369); // "asci"
+    for _ in 0..4000 {
+        let text: String = {
+            let len = rng.gen_range(0..80);
+            (0..len)
+                .map(|_| char::from(rng.gen_range(0x20u64..0x7fu64) as u8))
+                .collect()
+        };
+        assert_parity(&text);
+    }
+}
+
+#[test]
+fn char_boundary_suffixes_tokenize_identically() {
+    // Suffix slices probe every "what precedes the window" assumption
+    // (joiner lookbehind, word starts) at each char boundary.
+    let mut rng = Rng::seed_from_u64(0x5f5f);
+    for _ in 0..300 {
+        let text = arb_text(&mut rng, 40);
+        for (i, _) in text.char_indices() {
+            assert_parity(&text[i..]);
+        }
+    }
+}

@@ -8,7 +8,10 @@
 #    hardware-scaled floors (1.5x / 2.5x on a >=4-core host; overhead
 #    bound 0.85x on a single core, where real speedup is impossible),
 #    or (b) single-thread docs/sec regresses >10% below the committed
-#    BENCH_pipeline.json baseline — printed as a diff-style report;
+#    BENCH_pipeline.json baseline — printed as a diff-style report —
+#    or (c) scan.annotate ms/doc (the dominant stage, pinned by the
+#    zero-allocation annotation engine) regresses below the same
+#    ETAP_PERF_FLOOR ratio against the committed baseline;
 # 4. boots `etap-cli serve` on an ephemeral port, curls /healthz and
 #    /leads, then load-tests with bench_serve (writes BENCH_serve.json)
 #    and fails if any request was shed at nominal load;
@@ -106,6 +109,28 @@ if [ -n "$perf_baseline" ]; then
         done
         gate "docs_per_sec_1t vs ${perf_floor}x baseline ($base_d1)" "$d1" \
             "$(awk -v b="$base_d1" -v f="$perf_floor" 'BEGIN { print b * f }')"
+        # Per-stage floor on the dominant scan stage: annotate ms/doc
+        # must stay within perf_floor of the committed baseline. This
+        # pins the zero-allocation annotation engine specifically — a
+        # regression here can hide inside a globally-noisy docs/sec
+        # number, so the stage is gated on its own. Normalized per doc
+        # so a different ETAP_DOCS run stays comparable; expressed as a
+        # speed ratio (baseline ms-per-doc over current) so the shared
+        # `gate >= floor` check applies.
+        base_docs=$(jnum "$perf_baseline" docs)
+        new_docs=$(jnum BENCH_pipeline.json docs)
+        base_ann=$(jnum "$perf_baseline" "scan.annotate")
+        new_ann=$(jnum BENCH_pipeline.json "scan.annotate")
+        if [ -n "$base_ann" ] && [ -n "$new_ann" ] \
+            && [ -n "$base_docs" ] && [ -n "$new_docs" ]; then
+            ann_ratio=$(awk -v bm="$base_ann" -v bd="$base_docs" \
+                            -v nm="$new_ann" -v nd="$new_docs" \
+                'BEGIN { printf "%.3f", (bm / bd) / (nm / nd) }')
+            gate "scan.annotate speed vs baseline (${base_ann}ms -> ${new_ann}ms)" \
+                "$ann_ratio" "$perf_floor"
+        else
+            echo "  note: baseline lacks scan.annotate; stage gate skipped."
+        fi
     else
         echo "  note: committed baseline predates the 1t/2t/4t schema; regression gate skipped."
     fi

@@ -99,16 +99,16 @@ proptest! {
     #[test]
     fn annotator_entities_are_ordered_disjoint(text in arb_text()) {
         let ann = Annotator::new().annotate(&text);
-        for w in ann.entities.windows(2) {
+        for w in ann.entities().windows(2) {
             prop_assert!(
                 w[0].first_token + w[0].token_len <= w[1].first_token,
-                "{:?}", ann.entities
+                "{:?}", ann.entities()
             );
         }
         // Every entity token index is in range and links back.
-        for (ei, e) in ann.entities.iter().enumerate() {
+        for (ei, e) in ann.entities().iter().enumerate() {
             for ti in e.token_range() {
-                prop_assert_eq!(ann.tokens[ti].entity, Some(ei));
+                prop_assert_eq!(ann.entity_of(ti), Some(ei));
             }
         }
     }
