@@ -114,5 +114,8 @@ fn short(d: SalesDriver) -> &'static str {
         SalesDriver::MergersAcquisitions => "M&A",
         SalesDriver::ChangeInManagement => "CiM",
         SalesDriver::RevenueGrowth => "Rev",
+        // Runtime-registered drivers never reach this builtin-only
+        // ablation; fall back to the interned key.
+        other => other.id(),
     }
 }

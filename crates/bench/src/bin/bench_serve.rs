@@ -17,8 +17,15 @@
 //! {"requests": 800, "clients": 4,
 //!  "requests_per_sec": ..., "p50_ms": ..., "p99_ms": ..., "shed_rate": ...,
 //!  "keepalive_requests_per_sec": ..., "keepalive_p50_ms": ...,
-//!  "keepalive_p99_ms": ..., "keepalive_speedup": ...}
+//!  "keepalive_p99_ms": ..., "keepalive_speedup": ...,
+//!  "icp_requests_per_sec": ..., "icp_p50_ms": ..., "icp_p99_ms": ...,
+//!  "score_ms_per_snippet": ...}
 //! ```
+//!
+//! Two further passes cover the scoring surface: pass 3 drives the
+//! ICP endpoint (`GET /score` with industry/size/region weights) under
+//! keep-alive load, pass 4 POSTs raw snippets to the classifier and
+//! records the sequential mean ms/snippet.
 //!
 //! ```sh
 //! cargo run --release -p etap-bench --bin bench_serve
@@ -43,6 +50,23 @@ const TARGETS: [&str; 4] = [
     "/companies?top=5",
     "/healthz",
     "/leads?driver=cim&top=3",
+];
+
+/// ICP scoring load: weighted profile fits with list, band and weight
+/// parameters all in play (the expensive parse + scoring path).
+const ICP_TARGETS: [&str; 4] = [
+    "/score?company=Globex&industry=software,finance&w_industry=2&w_size=1&w_region=1",
+    "/score?company=Initech&region=europe,asia-pacific&size_min=200&size_max=5000&w_size=1.5",
+    "/score?company=Northwind&industry=manufacturing&region=north-america&w_region=2",
+    "/score?company=Contoso&industry=retail&size_min=50&size_max=800&w_industry=1.2",
+];
+
+/// Snippets for the POST `/score` classifier pass — one canonical
+/// trigger, one near miss, one background.
+const SNIPPETS: [&str; 3] = [
+    "Acme Corp named Jane Doe as its new Chief Executive Officer on Monday.",
+    "The board met to discuss governance and quarterly strategy.",
+    "Simmer the sauce for twenty minutes, stirring occasionally.",
 ];
 
 fn request(addr: SocketAddr, target: &str) -> (f64, u16) {
@@ -155,6 +179,27 @@ impl KeepAliveClient {
     }
 }
 
+/// One POST `/score` round trip on a fresh connection: classifier
+/// scoring of a raw text snippet.
+fn post_score(addr: SocketAddr, body: &str) -> (f64, u16) {
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "POST /score HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    let status: u16 = std::str::from_utf8(&response)
+        .ok()
+        .and_then(|t| t.split(' ').nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("parse status line");
+    (ms, status)
+}
+
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
@@ -198,6 +243,7 @@ fn run_pass(
     clients: usize,
     per_client: usize,
     keepalive: bool,
+    targets: &[&str],
 ) -> PassResult {
     let t0 = Instant::now();
     let mut samples: Vec<(f64, u16)> = Vec::with_capacity(clients * per_client);
@@ -208,7 +254,7 @@ fn run_pass(
                     let mut local = Vec::with_capacity(per_client);
                     let mut ka = KeepAliveClient::new(addr);
                     for i in 0..per_client {
-                        let target = TARGETS[(c + i) % TARGETS.len()];
+                        let target = targets[(c + i) % targets.len()];
                         local.push(if keepalive {
                             ka.request(target)
                         } else {
@@ -270,15 +316,32 @@ fn main() {
     let per_client = env_usize("ETAP_SERVE_REQUESTS", 200).max(1);
 
     eprintln!("pass 1 (connection per request): {clients} clients × {per_client} requests…");
-    let close = run_pass(addr, clients, per_client, false);
+    let close = run_pass(addr, clients, per_client, false, &TARGETS);
     print_pass("connection-per-request", &close);
 
     eprintln!("pass 2 (keep-alive): {clients} clients × {per_client} requests…");
-    let ka = run_pass(addr, clients, per_client, true);
+    let ka = run_pass(addr, clients, per_client, true, &TARGETS);
     print_pass("keep-alive", &ka);
 
     let speedup = ka.requests_per_sec / close.requests_per_sec;
     println!("  keep-alive speedup: {speedup:.2}× req/s");
+
+    eprintln!("pass 3 (ICP GET /score with weights): {clients} clients × {per_client} requests…");
+    let icp = run_pass(addr, clients, per_client, true, &ICP_TARGETS);
+    print_pass("icp-score", &icp);
+
+    // Pass 4: classifier snippet scoring over POST /score — sequential
+    // so the mean isolates per-snippet cost, not queueing.
+    let snippet_n = per_client.max(50);
+    eprintln!("pass 4 (POST /score snippets): {snippet_n} sequential requests…");
+    let mut snippet_ms = 0.0;
+    for i in 0..snippet_n {
+        let (ms, status) = post_score(addr, SNIPPETS[i % SNIPPETS.len()]);
+        assert_eq!(status, 200, "POST /score failed");
+        snippet_ms += ms;
+    }
+    let score_ms_per_snippet = snippet_ms / snippet_n as f64;
+    println!("snippet-score: {score_ms_per_snippet:.3} ms/snippet over {snippet_n} POSTs");
 
     // Server-side view for the log (quantiles from the live histogram).
     let metrics = server.metrics();
@@ -294,7 +357,9 @@ fn main() {
         "{{\"requests\": {}, \"clients\": {clients}, \"requests_per_sec\": {:.2}, \
          \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"shed_rate\": {shed_rate:.4}, \
          \"keepalive_requests_per_sec\": {:.2}, \"keepalive_p50_ms\": {:.3}, \
-         \"keepalive_p99_ms\": {:.3}, \"keepalive_speedup\": {speedup:.2}}}\n",
+         \"keepalive_p99_ms\": {:.3}, \"keepalive_speedup\": {speedup:.2}, \
+         \"icp_requests_per_sec\": {:.2}, \"icp_p50_ms\": {:.3}, \
+         \"icp_p99_ms\": {:.3}, \"score_ms_per_snippet\": {score_ms_per_snippet:.3}}}\n",
         close.total,
         close.requests_per_sec,
         close.p50_ms,
@@ -302,6 +367,9 @@ fn main() {
         ka.requests_per_sec,
         ka.p50_ms,
         ka.p99_ms,
+        icp.requests_per_sec,
+        icp.p50_ms,
+        icp.p99_ms,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json: {json}");

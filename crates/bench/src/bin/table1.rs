@@ -102,5 +102,8 @@ fn short(d: SalesDriver) -> &'static str {
         SalesDriver::MergersAcquisitions => "M&A",
         SalesDriver::ChangeInManagement => "CiM",
         SalesDriver::RevenueGrowth => "Rev",
+        // Runtime-registered drivers never appear in the paper table;
+        // fall back to the interned key.
+        other => other.id(),
     }
 }

@@ -45,20 +45,42 @@ pub const LEADS2_VERSION: u32 = 2;
 /// Default shard count when the caller doesn't choose one.
 pub const DEFAULT_SHARDS: u32 = 16;
 
+/// On-disk driver code: registry index + 1 (0 is reserved). The three
+/// built-ins therefore keep their historical codes 1, 2, 3; registered
+/// drivers get 4+ and the index grows a trailing code→key section so a
+/// fresh process (with a possibly different interning order) can map
+/// codes back to [`DriverId`]s. Books holding only built-in drivers
+/// emit no such section and stay byte-identical to the pre-registry
+/// format.
 fn driver_code(d: SalesDriver) -> u8 {
-    match d {
-        SalesDriver::MergersAcquisitions => 1,
-        SalesDriver::ChangeInManagement => 2,
-        SalesDriver::RevenueGrowth => 3,
-    }
+    (d.index() + 1) as u8
 }
 
+/// Builtin-only code lookup; custom codes resolve through [`CodeMap`].
 fn driver_from_code(c: u8) -> Option<SalesDriver> {
     match c {
         1 => Some(SalesDriver::MergersAcquisitions),
         2 => Some(SalesDriver::ChangeInManagement),
         3 => Some(SalesDriver::RevenueGrowth),
         _ => None,
+    }
+}
+
+/// Code→driver table decoded from the index's trailing section (empty
+/// for builtin-only books).
+#[derive(Debug, Default)]
+struct CodeMap {
+    custom: Vec<(u8, SalesDriver)>,
+}
+
+impl CodeMap {
+    fn resolve(&self, c: u8) -> Option<SalesDriver> {
+        driver_from_code(c).or_else(|| {
+            self.custom
+                .iter()
+                .find(|(code, _)| *code == c)
+                .map(|(_, d)| *d)
+        })
     }
 }
 
@@ -222,6 +244,24 @@ pub fn encode_book(book: &LeadBook, n_shards: u32) -> EncodedBook {
         name_keys.extend_from_slice(&i.to_le_bytes());
     }
 
+    // Optional section 7: code→key table for registered (non-builtin)
+    // drivers. Omitted entirely when only built-ins are present, which
+    // keeps those indexes byte-identical to the pre-registry format.
+    let custom: Vec<SalesDriver> = by_driver
+        .iter()
+        .map(|(d, _)| *d)
+        .filter(|d| !d.is_builtin())
+        .collect();
+    let code_table = (!custom.is_empty()).then(|| {
+        let mut tbl = Vec::new();
+        tbl.extend_from_slice(&(custom.len() as u32).to_le_bytes());
+        for d in &custom {
+            tbl.push(driver_code(*d));
+            put_str(&mut tbl, d.id());
+        }
+        tbl
+    });
+
     let mut w = BinWriter::new(INDEX_KIND, LEADS2_VERSION);
     w.section(meta)
         .section(rank_bytes)
@@ -230,6 +270,9 @@ pub fn encode_book(book: &LeadBook, n_shards: u32) -> EncodedBook {
         .section(company_dir)
         .section(company_refs)
         .section(name_keys);
+    if let Some(tbl) = code_table {
+        w.section(tbl);
+    }
     EncodedBook {
         shards,
         index: w.finish(),
@@ -304,9 +347,9 @@ pub struct EventView<'a> {
 }
 
 impl<'a> EventView<'a> {
-    fn decode(rec: &'a [u8]) -> Result<Self, CodecError> {
+    fn decode(rec: &'a [u8], codes: &CodeMap) -> Result<Self, CodecError> {
         let mut c = Cur::new(rec);
-        let driver = driver_from_code(c.u8()?).ok_or(CodecError::Truncated)?;
+        let driver = codes.resolve(c.u8()?).ok_or(CodecError::Truncated)?;
         let doc_id = c.u64()?;
         let score = f64::from_bits(c.u64()?);
         let date = (c.u16()?, c.u8()?, c.u8()?);
@@ -438,6 +481,7 @@ pub struct MappedBook {
     companies: Vec<CompanyEntry>,
     company_refs: (usize, usize),
     name_keys: HashMap<String, usize>,
+    codes: CodeMap,
 }
 
 impl MappedBook {
@@ -506,6 +550,22 @@ impl MappedBook {
             return Err(malformed("rank table length".into()));
         }
 
+        // The trailing code→key table (absent on builtin-only books)
+        // decodes first: the driver directory below resolves through it.
+        let mut codes = CodeMap::default();
+        if iv.section_count() > 7 {
+            let mut c = Cur::new(iv.section(7)?);
+            let n = c.u32()? as usize;
+            let n = c.count(n, 5)?;
+            for _ in 0..n {
+                let code = c.u8()?;
+                let key = c.str_view()?;
+                let driver = SalesDriver::intern(key)
+                    .map_err(|e| malformed(format!("driver key {key:?}: {e}")))?;
+                codes.custom.push((code, driver));
+            }
+        }
+
         let mut c = Cur::new(iv.section(2)?);
         let n = c.u32()? as usize;
         let n = c.count(n, 20)?;
@@ -516,7 +576,8 @@ impl MappedBook {
             c.bytes(3)?;
             let refs_off = c.u64()? as usize;
             let count = c.u64()? as usize;
-            let driver = driver_from_code(code)
+            let driver = codes
+                .resolve(code)
                 .ok_or_else(|| malformed(format!("unknown driver code {code}")))?;
             if refs_off
                 .checked_add(count)
@@ -580,6 +641,7 @@ impl MappedBook {
             companies,
             company_refs,
             name_keys,
+            codes,
         })
     }
 
@@ -636,7 +698,7 @@ impl MappedBook {
         let rec_off =
             u64::from_le_bytes(b.get(off_at..off_at + 8)?.try_into().ok()?) as usize;
         let rec = b.get(sm.records.0 + rec_off..sm.records.0 + sm.records.1)?;
-        EventView::decode(rec).ok()
+        EventView::decode(rec, &self.codes).ok()
     }
 
     fn events_from(&self, refs: (usize, usize), off: usize, n: usize) -> Vec<EventView<'_>> {
@@ -1050,6 +1112,40 @@ mod tests {
             .map(|s| Arc::new(Arena::Heap(s.clone())))
             .collect();
         MappedBook::open(index, shards).expect("open")
+    }
+
+    #[test]
+    fn builtin_books_have_no_code_table_and_custom_books_round_trip() {
+        // Builtin-only books encode exactly the seven legacy sections —
+        // the byte-layout contract that keeps them identical to
+        // pre-registry LEADS v2 artifacts.
+        let builtin = LeadBook::build(sample_events(40));
+        let enc = encode_book(&builtin, 4);
+        let iv = bin_open(&enc.index, INDEX_KIND, LEADS2_VERSION, true).expect("open");
+        assert_eq!(iv.section_count(), 7);
+
+        // A custom driver adds the trailing code table, and the mapped
+        // book resolves its events back to the registered DriverId.
+        let custom = SalesDriver::register("test_leads2_custom", "pilot programs")
+            .expect("register");
+        let mut events = sample_events(12);
+        events.push(event(custom, 90, 0.91, &["Acme 0"]));
+        events.push(event(custom, 91, 0.81, &[]));
+        let book = LeadBook::build(events);
+        let enc = encode_book(&book, 4);
+        let iv = bin_open(&enc.index, INDEX_KIND, LEADS2_VERSION, true).expect("open");
+        assert_eq!(iv.section_count(), 8, "custom drivers append the code table");
+
+        let mapped = open_encoded(&enc);
+        assert_eq!(mapped.events_owned(), book.events());
+        assert!(mapped.drivers().contains(&custom));
+        assert_eq!(mapped.driver_total(custom), 2);
+        let views: Vec<f64> = mapped
+            .top_for(custom, usize::MAX)
+            .iter()
+            .map(EventView::score)
+            .collect();
+        assert_eq!(views, vec![0.91, 0.81]);
     }
 
     #[test]

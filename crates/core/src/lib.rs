@@ -45,8 +45,10 @@
 
 pub mod aliases;
 pub mod dedup;
+pub mod driverfile;
 pub mod events;
 pub mod filter;
+pub mod icp;
 pub mod leads;
 pub mod leads2;
 pub mod lexlearn;
@@ -59,8 +61,10 @@ pub mod training;
 
 pub use aliases::AliasResolver;
 pub use dedup::EventDeduper;
+pub use driverfile::{DriverDef, DriverFileError};
 pub use events::{EventIdentifier, TriggerEvent};
-pub use filter::Filter;
+pub use filter::{Filter, FilterParseError};
+pub use icp::{IcpConfig, IcpScore, IcpWeights};
 pub use leads::LeadBook;
 pub use leads2::{BookHandle, CompanyRef, EventRef, MappedBook};
 pub use lexlearn::LexiconLearner;
@@ -69,12 +73,12 @@ pub use rank::{
     rank_by_orientation, rank_by_score, rank_by_time_weighted_score, rank_companies,
     rank_companies_resolved, CompanyScore,
 };
-pub use spec::DriverSpec;
+pub use spec::{DriverSpec, SpecError};
 pub use temporal::{Date, TemporalResolver};
 pub use training::{TrainedDriver, TrainingConfig, TrainingReport};
 
 // Re-export the pieces users compose with.
-pub use etap_corpus::SalesDriver;
+pub use etap_corpus::{DriverId, DriverSet, DriverTemplates, SalesDriver};
 
 use etap_annotate::Annotator;
 use etap_corpus::{SearchEngine, SyntheticDoc, SyntheticWeb};

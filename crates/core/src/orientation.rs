@@ -98,6 +98,16 @@ impl OrientationLexicon {
         self.phrases.is_empty()
     }
 
+    /// Phrase/weight pairs sorted by phrase — the deterministic order
+    /// serializers need (the backing map is unordered).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> =
+            self.phrases.iter().map(|(k, &w)| (k.as_str(), w)).collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
     /// Score a snippet: sum of matched phrase weights, longest match
     /// first (a matched span is consumed).
     #[must_use]

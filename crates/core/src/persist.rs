@@ -51,8 +51,12 @@ use std::str::FromStr;
 
 /// Codec kind of trained-model documents.
 pub const MODEL_KIND: &str = "MODEL";
-/// Highest `MODEL` version this build reads/writes.
-pub const MODEL_VERSION: u32 = 2;
+/// Highest `MODEL` version this build reads/writes. v2 carries only the
+/// driver key (specs are code for the built-ins); v3 additionally
+/// embeds the driver's spec — queries, filter expression, lexicon — and
+/// is emitted only for registered (data-defined) drivers, so built-in
+/// model files stay byte-identical to the v2 era.
+pub const MODEL_VERSION: u32 = 3;
 /// Codec kind of ranked-event documents.
 pub const LEADS_KIND: &str = "LEADS";
 /// Highest `LEADS` version this build reads/writes.
@@ -65,8 +69,23 @@ pub fn to_string(trained: &TrainedDriver) -> String {
     let policy = trained.vectorizer.policy();
     let (ll, prior, unseen) = trained.model.parts();
 
-    let mut w = Writer::new(MODEL_KIND, MODEL_VERSION);
+    let custom = !trained.spec.driver.is_builtin();
+    let mut w = Writer::new(MODEL_KIND, if custom { MODEL_VERSION } else { 2 });
     w.record(["driver", trained.spec.driver.id()]);
+    if custom {
+        // A registered driver's spec is data, not code — embed it so a
+        // fresh process reloads the model self-contained.
+        w.record(["driver-name", trained.spec.driver.name()]);
+        for q in &trained.spec.smart_queries {
+            w.record(["query", q]);
+        }
+        w.record(["filter", &trained.spec.snippet_filter.to_string()]);
+        if let Some(lex) = &trained.spec.orientation {
+            for (phrase, weight) in lex.entries() {
+                w.record(["lex", phrase, &weight.to_string()]);
+            }
+        }
+    }
     for cat in EntityCategory::ALL {
         w.record(["policy-entity", cat.tag(), choice_name(policy.entity_choice(cat))]);
     }
@@ -113,7 +132,11 @@ fn decode_model(text: &str) -> Result<TrainedDriver, CodecError> {
     let (_, records) = etap_persist::parse(text, MODEL_KIND, MODEL_VERSION)?;
     let mut records = records.into_iter();
 
-    let mut driver: Option<SalesDriver> = None;
+    let mut driver_key: Option<String> = None;
+    let mut driver_name: Option<String> = None;
+    let mut queries: Vec<String> = Vec::new();
+    let mut filter: Option<crate::filter::Filter> = None;
+    let mut lexicon: Option<crate::orientation::OrientationLexicon> = None;
     let mut policy = AbstractionPolicy::paper_default();
     let mut prior = [0.0f64; 2];
     let mut unseen = [0.0f64; 2];
@@ -122,11 +145,20 @@ fn decode_model(text: &str) -> Result<TrainedDriver, CodecError> {
 
     for rec in records.by_ref() {
         match rec.tag() {
-            "driver" => {
-                driver = Some(
-                    SalesDriver::from_str(rec.str(1)?)
-                        .map_err(|e| rec.malformed(format!("unknown driver: {e}")))?,
+            "driver" => driver_key = Some(rec.str(1)?.to_string()),
+            "driver-name" => driver_name = Some(rec.str(1)?.to_string()),
+            "query" => queries.push(rec.str(1)?.to_string()),
+            "filter" => {
+                filter = Some(
+                    rec.str(1)?
+                        .parse()
+                        .map_err(|e| rec.malformed(format!("bad filter: {e}")))?,
                 );
+            }
+            "lex" => {
+                lexicon
+                    .get_or_insert_with(crate::orientation::OrientationLexicon::new)
+                    .insert(rec.str(1)?, rec.parse(2)?);
             }
             "policy-entity" => {
                 let cat: EntityCategory = rec
@@ -154,9 +186,21 @@ fn decode_model(text: &str) -> Result<TrainedDriver, CodecError> {
             other => return Err(rec.malformed(format!("unexpected record `{other}`"))),
         }
     }
-    let driver = driver.ok_or(CodecError::Malformed {
+    let key = driver_key.ok_or(CodecError::Malformed {
         line: 0,
         msg: "missing driver record".to_string(),
+    })?;
+    // Built-in keys resolve to their fixed ids; unknown keys are
+    // interned (registering the display name when the file carries one)
+    // so a model trained against a drivers file reloads in a fresh
+    // process.
+    let driver = match &driver_name {
+        Some(name) => SalesDriver::register(&key, name),
+        None => SalesDriver::intern(&key),
+    }
+    .map_err(|e| CodecError::Malformed {
+        line: 0,
+        msg: format!("driver {key:?}: {e}"),
     })?;
     let n_features = n_features.ok_or(CodecError::Malformed {
         line: 0,
@@ -183,8 +227,18 @@ fn decode_model(text: &str) -> Result<TrainedDriver, CodecError> {
         });
     }
 
+    let spec = if queries.is_empty() && filter.is_none() && lexicon.is_none() {
+        DriverSpec::builtin(driver)
+    } else {
+        DriverSpec {
+            driver,
+            smart_queries: queries,
+            snippet_filter: filter.unwrap_or(crate::filter::Filter::True),
+            orientation: lexicon,
+        }
+    };
     Ok(TrainedDriver {
-        spec: DriverSpec::builtin(driver),
+        spec,
         vectorizer: Vectorizer::from_parts(policy, vocab, bigrams),
         model: MultinomialNbModel::from_parts(ll, prior, unseen),
         report: zeroed_report(),
@@ -348,7 +402,9 @@ pub fn events_from_str(text: &str) -> Result<Vec<TriggerEvent>, CodecError> {
 }
 
 fn decode_event(rec: &Record) -> Result<TriggerEvent, CodecError> {
-    let driver = SalesDriver::from_str(rec.str(1)?)
+    // Intern, not strict parse: a LEADS file naming a data-defined
+    // driver must load in a fresh process before any drivers file does.
+    let driver = SalesDriver::intern(rec.str(1)?)
         .map_err(|e| rec.malformed(format!("unknown driver: {e}")))?;
     Ok(TriggerEvent {
         driver,
@@ -517,6 +573,56 @@ mod tests {
         let corrupt = String::from_utf8(bytes).expect("ascii-safe flip");
         let err = from_str(&corrupt).expect_err("checksum must catch the flip");
         assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn builtin_models_still_write_the_legacy_v2_format() {
+        // Byte-format stability contract: built-in drivers keep
+        // emitting MODEL v2 with no embedded-spec records, so model
+        // files from pre-registry builds and this build are
+        // interchangeable in both directions.
+        let text = to_string(&quick_trained());
+        assert!(text.starts_with("ETAP MODEL v2\n"), "{}", &text[..40]);
+        for tag in ["driver-name", "query\t", "filter\t", "lex\t"] {
+            assert!(!text.contains(&format!("\n{tag}")), "v2 must not embed {tag:?}");
+        }
+        let restored = from_str(&text).expect("parse");
+        assert_eq!(restored.spec.driver, SalesDriver::ChangeInManagement);
+    }
+
+    #[test]
+    fn custom_models_embed_their_spec_in_v3() {
+        let driver = SalesDriver::register("test_persist_custom", "pilot programs")
+            .expect("register");
+        let mut lexicon = crate::OrientationLexicon::new();
+        lexicon.insert("expanded pilot", 1.5);
+        lexicon.insert("cancelled pilot", -2.0);
+        let mut trained = quick_trained();
+        trained.spec = DriverSpec {
+            driver,
+            smart_queries: vec!["\"pilot program\"".to_string(), "\"rollout\"".to_string()],
+            snippet_filter: "ORG AND (KW(pilot) OR KW(rollout))".parse().expect("filter"),
+            orientation: Some(lexicon),
+        };
+
+        let text = to_string(&trained);
+        assert!(text.starts_with("ETAP MODEL v3\n"), "{}", &text[..40]);
+        let restored = from_str(&text).expect("parse v3");
+        assert_eq!(restored.spec.driver, driver);
+        assert_eq!(restored.spec.smart_queries, trained.spec.smart_queries);
+        assert_eq!(
+            restored.spec.snippet_filter.to_string(),
+            trained.spec.snippet_filter.to_string()
+        );
+        let lex = restored.spec.orientation.as_ref().expect("lexicon restored");
+        assert_eq!(
+            lex.entries(),
+            trained.spec.orientation.as_ref().unwrap().entries()
+        );
+        // The classifier itself is untouched by the spec records.
+        let annotator = Annotator::new();
+        let ann = annotator.annotate("Acme Corp expanded its pilot program rollout.");
+        assert!((trained.score(&ann) - restored.score(&ann)).abs() < 1e-12);
     }
 
     #[test]

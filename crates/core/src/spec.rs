@@ -9,16 +9,55 @@
 //! (the paper: "one may want to introduce new categories of sales
 //! drivers quite frequently").
 
-use crate::filter::Filter;
+use crate::filter::{Filter, FilterParseError};
 use crate::orientation::OrientationLexicon;
 use etap_annotate::EntityCategory;
 use etap_corpus::SalesDriver;
+use std::fmt;
+
+/// A driver spec could not be built from its inputs. Driver files are
+/// user data, so every malformed input surfaces here as a value — a bad
+/// file must never abort the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A keyword OR-chain was requested over zero keywords.
+    EmptyKeywords,
+    /// A snippet-filter expression failed to parse.
+    BadFilter(FilterParseError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyKeywords => write!(f, "keyword filter needs at least one keyword"),
+            SpecError::BadFilter(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<FilterParseError> for SpecError {
+    fn from(e: FilterParseError) -> Self {
+        SpecError::BadFilter(e)
+    }
+}
 
 /// OR-chain of keyword filters.
-fn any_keyword(words: &[&str]) -> Filter {
+///
+/// # Errors
+/// [`SpecError::EmptyKeywords`] when `words` is empty.
+pub fn any_keyword(words: &[&str]) -> Result<Filter, SpecError> {
     let mut it = words.iter();
-    let first = Filter::kw(it.next().expect("at least one keyword"));
-    it.fold(first, |acc, w| acc.or(Filter::kw(w)))
+    let first = Filter::kw(it.next().ok_or(SpecError::EmptyKeywords)?);
+    Ok(it.fold(first, |acc, w| acc.or(Filter::kw(w))))
+}
+
+/// Infallible wrapper for the built-in specs' literal keyword lists:
+/// they are non-empty by construction, and `Filter::True` (match
+/// everything at this clause) is the safe degenerate for an empty list.
+fn keywords(words: &[&str]) -> Filter {
+    any_keyword(words).unwrap_or(Filter::True)
 }
 
 /// Everything ETAP needs to know about one sales driver.
@@ -58,7 +97,7 @@ impl DriverSpec {
                 // annotations", AND-ed with query/event terms (§5.1:
                 // "filters based on query terms and named entity
                 // annotations").
-                snippet_filter: Filter::AtLeast(EntityCategory::Org, 2).and(any_keyword(&[
+                snippet_filter: Filter::AtLeast(EntityCategory::Org, 2).and(keywords(&[
                     "acquire",
                     "acquires",
                     "acquired",
@@ -88,7 +127,7 @@ impl DriverSpec {
                 // with query/event terms.
                 snippet_filter: Filter::cat(EntityCategory::Desig)
                     .and(Filter::cat(EntityCategory::Prsn).or(Filter::cat(EntityCategory::Org)))
-                    .and(any_keyword(&[
+                    .and(keywords(&[
                         "new",
                         "named",
                         "names",
@@ -132,11 +171,22 @@ impl DriverSpec {
                         Filter::cat(EntityCategory::Currency)
                             .or(Filter::cat(EntityCategory::Prcnt)),
                     )
-                    .and(any_keyword(&[
+                    .and(keywords(&[
                         "revenue", "profit", "sales", "earnings", "income", "quarter", "grew",
                         "rose", "surged", "climbed", "posted", "jumped", "growth", "margins",
                     ])),
                 orientation: Some(OrientationLexicon::revenue_growth()),
+            },
+            // Registered drivers get their real spec from a DRIVERS
+            // file (`driverfile::load`); this fallback keeps every code
+            // path total when one is asked for by id alone: query the
+            // driver's display name as a phrase, keep any snippet with
+            // an organization.
+            other => Self {
+                driver,
+                smart_queries: vec![format!("\"{}\"", other.name())],
+                snippet_filter: Filter::cat(EntityCategory::Org),
+                orientation: None,
             },
         }
     }
@@ -152,6 +202,22 @@ impl DriverSpec {
 mod tests {
     use super::*;
     use etap_annotate::Annotator;
+
+    #[test]
+    fn empty_keyword_list_is_a_typed_error_not_a_panic() {
+        assert_eq!(any_keyword(&[]), Err(SpecError::EmptyKeywords));
+        assert!(any_keyword(&["one"]).is_ok());
+        assert!(!SpecError::EmptyKeywords.to_string().is_empty());
+    }
+
+    #[test]
+    fn custom_driver_gets_total_fallback_spec() {
+        let d = SalesDriver::register("test_spec_fallback", "pilot programs").unwrap();
+        let spec = DriverSpec::builtin(d);
+        assert_eq!(spec.driver, d);
+        assert_eq!(spec.smart_queries, vec!["\"pilot programs\"".to_string()]);
+        assert!(spec.orientation.is_none());
+    }
 
     #[test]
     fn builtin_specs_exist_for_all_drivers() {

@@ -200,6 +200,14 @@ fn distractor_headline(driver: SalesDriver, g: &mut NameGenerator) -> String {
         SalesDriver::MergersAcquisitions => format!("Deal history: the {c} story"),
         SalesDriver::ChangeInManagement => format!("A look back at {c} leadership"),
         SalesDriver::RevenueGrowth => format!("Charting two decades of {c} results"),
+        other => match other.templates() {
+            // The company draw above stays (uniform RNG discipline);
+            // custom headlines draw their own placeholders.
+            Some(t) if !t.distractor_headlines.is_empty() => {
+                crate::templates::render_custom(&t.distractor_headlines, g).text
+            }
+            _ => format!("A look back at {c} and {}", other.name()),
+        },
     }
 }
 
@@ -222,6 +230,15 @@ fn headline_signed(driver: SalesDriver, g: &mut NameGenerator, revenue_negative:
                 format!("{c} posts strong quarter")
             }
         }
+        other => match other.templates() {
+            Some(t) if !t.headlines.is_empty() => {
+                crate::templates::render_custom(&t.headlines, g).text
+            }
+            _ => {
+                let c = g.company();
+                format!("{c} in the news: {}", other.name())
+            }
+        },
     }
 }
 

@@ -19,9 +19,11 @@
 //! * [`search`] — an inverted-index search engine with BM25 ranking and
 //!   quoted-phrase support: the stand-in for Google that the
 //!   smart-query harvester talks to;
-//! * [`drivers`] — the [`SalesDriver`] taxonomy (mergers & acquisitions,
-//!   change in management, revenue growth — §2: "ETAP currently
-//!   considers three sales drivers").
+//! * [`drivers`] — the [`SalesDriver`] taxonomy as a runtime registry:
+//!   the paper's three drivers (mergers & acquisitions, change in
+//!   management, revenue growth — §2) pre-registered at fixed ids, plus
+//!   data-defined drivers interned at runtime with their own corpus
+//!   templates.
 //!
 //! Everything is seeded and deterministic: the same seed produces the
 //! same web, the same queries produce the same hits.
@@ -39,7 +41,7 @@ pub mod templates;
 pub mod web;
 
 pub use crawl::{business_anchor, business_relevance, CrawlResult, FocusedCrawler, LinkGraph};
-pub use drivers::SalesDriver;
+pub use drivers::{DriverId, DriverSet, DriverTemplates, SalesDriver, UnknownDriver};
 pub use generator::{DocGenerator, Genre, SyntheticDoc};
 pub use names::NameGenerator;
 pub use search::{SearchEngine, SearchHit};

@@ -18,7 +18,6 @@
 //! per seed, but diverges from the batch generator in exactly those
 //! syndicated copies.
 
-use crate::drivers::SalesDriver;
 use crate::generator::{DocGenerator, Genre, SyntheticDoc};
 use crate::templates::BACKGROUND_GENRES;
 use crate::web::WebConfig;
@@ -136,13 +135,13 @@ impl ExactSizeIterator for DocStream {}
 fn draw_genre(config: &WebConfig, rng: &mut Rng) -> Genre {
     let x: f64 = rng.gen_f64();
     let mut acc = 0.0;
-    for driver in SalesDriver::ALL {
+    for driver in config.drivers.iter() {
         acc += config.trigger_fraction;
         if x < acc {
             return Genre::Trigger(driver);
         }
     }
-    for driver in SalesDriver::ALL {
+    for driver in config.drivers.iter() {
         acc += config.distractor_fraction;
         if x < acc {
             return Genre::Distractor(driver);

@@ -16,6 +16,7 @@
 
 use crate::drivers::SalesDriver;
 use crate::names::NameGenerator;
+use std::collections::HashMap;
 
 /// A generated sentence plus the companies it mentions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +63,13 @@ pub fn trigger_sentence_signed(
                 revenue_trigger(g)
             }
         }
+        // Data-defined drivers render their registered templates; the
+        // built-ins above keep their hand-written generators so the
+        // default corpus's RNG draw sequence is untouched.
+        other => match other.templates() {
+            Some(t) if !t.triggers.is_empty() => render_custom(&t.triggers, g),
+            _ => generic_trigger(other, g),
+        },
     }
 }
 
@@ -72,6 +80,134 @@ pub fn distractor_sentence(driver: SalesDriver, g: &mut NameGenerator) -> Senten
         SalesDriver::MergersAcquisitions => ma_distractor(g),
         SalesDriver::ChangeInManagement => cim_distractor(g),
         SalesDriver::RevenueGrowth => revenue_distractor(g),
+        other => match other.templates() {
+            Some(t) if !t.distractors.is_empty() => render_custom(&t.distractors, g),
+            _ => generic_distractor(other, g),
+        },
+    }
+}
+
+/// Pick one of `tpls` and fill its placeholders. Exposed for the
+/// document generator, which renders custom headlines the same way.
+#[must_use]
+pub(crate) fn render_custom(tpls: &[String], g: &mut NameGenerator) -> Sentence {
+    let idx = if tpls.len() > 1 { g.range(0, tpls.len()) } else { 0 };
+    render_template(&tpls[idx], g)
+}
+
+/// Fill one template. Placeholders are drawn lazily in appearance
+/// order (so the RNG sequence is a pure function of the template
+/// text); a repeated placeholder reuses its first value, `{company2}`
+/// and `{person2}` draw values distinct from `{company}`/`{person}`,
+/// and unknown placeholders pass through literally (a typo in a driver
+/// file degrades output, it never aborts generation).
+fn render_template(tpl: &str, g: &mut NameGenerator) -> Sentence {
+    let mut text = String::with_capacity(tpl.len() + 16);
+    let mut companies: Vec<String> = Vec::new();
+    let mut vals: HashMap<String, String> = HashMap::new();
+    let mut rest = tpl;
+    while let Some(start) = rest.find('{') {
+        text.push_str(&rest[..start]);
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('}') else {
+            text.push('{');
+            continue;
+        };
+        let key = &rest[..end];
+        rest = &rest[end + 1..];
+        match placeholder_value(key, g, &mut vals, &mut companies) {
+            Some(v) => text.push_str(&v),
+            None => {
+                text.push('{');
+                text.push_str(key);
+                text.push('}');
+            }
+        }
+    }
+    text.push_str(rest);
+    Sentence { text, companies }
+}
+
+fn placeholder_value(
+    key: &str,
+    g: &mut NameGenerator,
+    vals: &mut HashMap<String, String>,
+    companies: &mut Vec<String>,
+) -> Option<String> {
+    if let Some(v) = vals.get(key) {
+        return Some(v.clone());
+    }
+    let distinct_from = |g: &mut NameGenerator, prior: Option<&String>, mut draw: Box<dyn FnMut(&mut NameGenerator) -> String>| {
+        let mut v = draw(g);
+        if let Some(p) = prior {
+            for _ in 0..8 {
+                if v != *p {
+                    break;
+                }
+                v = draw(g);
+            }
+        }
+        v
+    };
+    let v = match key {
+        "company" => {
+            let v = g.company();
+            companies.push(v.clone());
+            v
+        }
+        "company2" => {
+            let prior = vals.get("company").cloned();
+            let v = distinct_from(g, prior.as_ref(), Box::new(|g| g.company()));
+            companies.push(v.clone());
+            v
+        }
+        "person" => g.person(),
+        "person2" => {
+            let prior = vals.get("person").cloned();
+            distinct_from(g, prior.as_ref(), Box::new(|g| g.person()))
+        }
+        "desig" => g.designation(),
+        "money" => g.money(),
+        "pct" => g.percent(),
+        "date" => g.date(),
+        "place" => g.place(),
+        "quarter" => g.quarter(),
+        "year" => g.year(),
+        "product" => g.product(),
+        _ => return None,
+    };
+    vals.insert(key.to_string(), v.clone());
+    Some(v)
+}
+
+/// Deterministic fallback trigger for a registered driver with no
+/// templates: still mentions a company (so ranking has ground truth)
+/// and the driver's display name (so smart queries can find it).
+fn generic_trigger(driver: SalesDriver, g: &mut NameGenerator) -> Sentence {
+    let company = g.company();
+    let date = g.date();
+    let text = format!(
+        "{company} announced a {} development in {date}.",
+        driver.name()
+    );
+    Sentence {
+        text,
+        companies: vec![company],
+    }
+}
+
+/// Deterministic fallback distractor: historical framing of the same
+/// vocabulary, mirroring the §5.2 outlier families.
+fn generic_distractor(driver: SalesDriver, g: &mut NameGenerator) -> Sentence {
+    let company = g.company();
+    let (y1, _) = g.past_year_pair();
+    let text = format!(
+        "A retrospective recalled the {} chapter at {company} back in {y1}.",
+        driver.name()
+    );
+    Sentence {
+        text,
+        companies: vec![company],
     }
 }
 
@@ -532,6 +668,51 @@ mod tests {
             let s = business_filler(&mut g);
             assert_eq!(s.companies.len(), 1);
         }
+    }
+
+    #[test]
+    fn custom_templates_render_with_placeholders() {
+        use crate::drivers::{DriverId, DriverTemplates};
+        let d = DriverId::register("test_tpl_render", "pilot programs").unwrap();
+        d.set_templates(DriverTemplates {
+            triggers: vec![
+                "{company} and {company2} signed a {money} pilot with {person} in {place}.".into(),
+            ],
+            distractors: vec!["{company} once ran a pilot, a {year} report said.".into()],
+            ..DriverTemplates::default()
+        });
+        let mut g = gen();
+        let s = trigger_sentence(d, &mut g);
+        assert_eq!(s.companies.len(), 2, "{s:?}");
+        assert_ne!(s.companies[0], s.companies[1]);
+        assert!(!s.text.contains('{'), "unfilled placeholder: {}", s.text);
+        let ds = distractor_sentence(d, &mut g);
+        assert_eq!(ds.companies.len(), 1);
+        // Repeated placeholders reuse the same value.
+        let one = render_template("{company} praised {company}.", &mut gen());
+        assert_eq!(one.companies.len(), 1);
+        let c = &one.companies[0];
+        assert_eq!(one.text, format!("{c} praised {c}."));
+        // Unknown placeholders pass through literally.
+        let odd = render_template("a {bogus} token", &mut gen());
+        assert_eq!(odd.text, "a {bogus} token");
+    }
+
+    #[test]
+    fn templateless_custom_driver_gets_generic_sentences() {
+        use crate::drivers::DriverId;
+        let d = DriverId::register("test_tpl_fallback", "supply chain wins").unwrap();
+        let mut g = gen();
+        let s = trigger_sentence(d, &mut g);
+        assert_eq!(s.companies.len(), 1);
+        assert!(s.text.contains("supply chain wins"), "{}", s.text);
+        let ds = distractor_sentence(d, &mut g);
+        assert!(ds.text.contains("supply chain wins"));
+        // Deterministic.
+        assert_eq!(
+            trigger_sentence(d, &mut gen()),
+            trigger_sentence(d, &mut gen())
+        );
     }
 
     #[test]

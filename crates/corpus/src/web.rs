@@ -6,7 +6,7 @@
 //! search engine indexes it, smart queries harvest noisy positives from
 //! it, and the negative class is randomly sampled from it.
 
-use crate::drivers::SalesDriver;
+use crate::drivers::{DriverSet, SalesDriver};
 use crate::generator::{DocGenerator, Genre, SyntheticDoc};
 use crate::templates::BACKGROUND_GENRES;
 use etap_runtime::Rng;
@@ -32,6 +32,11 @@ pub struct WebConfig {
     /// press-release wire phenomenon `etap::dedup` exists for. Default
     /// 0 so the paper experiments are unaffected.
     pub syndication_fraction: f64,
+    /// Which sales drivers this web writes trigger/distractor documents
+    /// for. Defaults to the three built-ins, so the default document
+    /// stream is byte-identical to the closed-enum era; add registered
+    /// data-defined drivers here to get corpus coverage for them.
+    pub drivers: DriverSet,
 }
 
 impl Default for WebConfig {
@@ -48,6 +53,7 @@ impl Default for WebConfig {
             seed: 0xE7A9,
             known_name_fraction: 0.25,
             syndication_fraction: 0.0,
+            drivers: DriverSet::builtin(),
         }
     }
 }
@@ -64,7 +70,7 @@ impl WebConfig {
 
     pub(crate) fn validate(&self) {
         let events =
-            (self.trigger_fraction + self.distractor_fraction) * SalesDriver::ALL.len() as f64;
+            (self.trigger_fraction + self.distractor_fraction) * self.drivers.len() as f64;
         let total = events + self.business_noise_fraction;
         assert!(
             total <= 1.0 + 1e-9,
@@ -173,13 +179,13 @@ impl SyntheticWeb {
 fn draw_genre(config: &WebConfig, rng: &mut Rng) -> Genre {
     let x: f64 = rng.gen_f64();
     let mut acc = 0.0;
-    for driver in SalesDriver::ALL {
+    for driver in config.drivers.iter() {
         acc += config.trigger_fraction;
         if x < acc {
             return Genre::Trigger(driver);
         }
     }
-    for driver in SalesDriver::ALL {
+    for driver in config.drivers.iter() {
         acc += config.distractor_fraction;
         if x < acc {
             return Genre::Distractor(driver);
@@ -241,6 +247,35 @@ mod tests {
                 (count as f64) > expect * 0.5 && (count as f64) < expect * 1.7,
                 "{driver}: {count} vs expected ~{expect}"
             );
+        }
+    }
+
+    #[test]
+    fn custom_driver_set_yields_trigger_docs() {
+        use crate::drivers::{DriverId, DriverTemplates};
+        let d = DriverId::register("test_web_custom", "pilot deployments").unwrap();
+        d.set_templates(DriverTemplates {
+            triggers: vec!["{company} rolled out a pilot deployment with {company2}.".into()],
+            distractors: vec!["{company} shelved a pilot idea in {year}.".into()],
+            headlines: vec!["{company} pilots ahead".into()],
+            distractor_headlines: vec!["The {company} pilot that wasn't".into()],
+        });
+        let mut drivers = DriverSet::builtin();
+        drivers.insert(d);
+        let web = SyntheticWeb::generate(WebConfig {
+            drivers,
+            ..WebConfig::with_docs(800)
+        });
+        assert!(web.trigger_docs(d).count() > 0, "no custom trigger docs");
+        // Builtins still appear alongside.
+        assert!(web.trigger_docs(SalesDriver::RevenueGrowth).count() > 0);
+        // Deterministic per seed with the same driver set.
+        let again = SyntheticWeb::generate(WebConfig {
+            drivers,
+            ..WebConfig::with_docs(800)
+        });
+        for (a, b) in web.docs().iter().zip(again.docs()) {
+            assert_eq!(a.text(), b.text());
         }
     }
 

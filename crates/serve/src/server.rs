@@ -30,7 +30,7 @@ use crate::json::JsonWriter;
 use crate::metrics::Metrics;
 use crate::snapshot::{parse_driver, LeadSnapshot, SnapshotCell};
 use crate::store::GenerationStore;
-use etap::{CompanyRef, EventRef};
+use etap::{CompanyRef, EventRef, IcpConfig};
 use etap_runtime::pool::{Bounded, PushError, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -667,7 +667,8 @@ fn route(ctx: &Ctx, req: &Request) -> Response {
         ("GET", "/leads") => leads(ctx, req),
         ("GET", "/companies") => companies(ctx, req),
         ("POST", "/score") => score(ctx, req),
-        ("GET", "/score") | ("POST", "/leads" | "/companies" | "/healthz" | "/metrics") => text(
+        ("GET", "/score") => icp(ctx, req),
+        ("POST", "/leads" | "/companies" | "/healthz" | "/metrics") => text(
             status::METHOD_NOT_ALLOWED,
             "method not allowed\n",
         ),
@@ -701,6 +702,20 @@ fn text(st: Status, body: &str) -> Response {
     )
 }
 
+/// JSON error body: `{"error": "..."}`. API failures that clients act
+/// on programmatically (unknown driver keys, bad parameters) get
+/// machine-readable bodies, not prose.
+fn json_error(st: Status, msg: &str) -> Response {
+    let mut w = JsonWriter::new();
+    w.begin_object().key("error").string(msg).end_object();
+    (
+        st,
+        "application/json",
+        Vec::new(),
+        w.finish().into_bytes(),
+    )
+}
+
 fn json(st: Status, generation: u64, body: String) -> Response {
     (
         st,
@@ -719,7 +734,7 @@ fn parse_top(req: &Request, default: usize) -> Result<usize, Response> {
     }
 }
 
-fn write_event(w: &mut JsonWriter, rank: usize, e: EventRef<'_>) {
+fn write_event(w: &mut JsonWriter, rank: usize, e: EventRef<'_>, icp: Option<&IcpConfig>) {
     let (y, m, d) = e.date();
     w.begin_object()
         .key("rank")
@@ -741,7 +756,70 @@ fn write_event(w: &mut JsonWriter, rank: usize, e: EventRef<'_>) {
     for c in e.companies_vec() {
         w.string(c);
     }
-    w.end_array().end_object();
+    w.end_array();
+    // ICP enrichment is strictly opt-in (`icp=1`): default /leads bytes
+    // stay identical to pre-ICP builds. The lead company is the
+    // event's first extracted company.
+    if let Some(config) = icp {
+        if let Some(company) = e.companies_vec().first() {
+            let scored = etap::icp::score(company, config);
+            w.key("icp")
+                .begin_object()
+                .key("company")
+                .string(company)
+                .key("score")
+                .uint(u64::from(scored.total))
+                .end_object();
+        }
+    }
+    w.end_object();
+}
+
+/// Parse the shared ICP query parameters (`industry`, `region`,
+/// `size_min`, `size_max`, `w_industry`, `w_size`, `w_region`) into an
+/// [`IcpConfig`]. Lists are comma-separated; absent parameters keep the
+/// wildcard defaults.
+fn parse_icp_config(req: &Request) -> Result<IcpConfig, Response> {
+    let mut config = IcpConfig::default();
+    let list = |v: &str| -> Vec<String> {
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_lowercase)
+            .collect()
+    };
+    if let Some(v) = req.param("industry") {
+        config.industries = list(v);
+    }
+    if let Some(v) = req.param("region") {
+        config.regions = list(v);
+    }
+    let size = |name: &str, default: u32| -> Result<u32, Response> {
+        match req.param(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u32>()
+                .map_err(|_| json_error(status::BAD_REQUEST, &format!("bad {name} parameter"))),
+        }
+    };
+    config.size_min = size("size_min", config.size_min)?;
+    config.size_max = size("size_max", config.size_max)?;
+    let weight = |name: &str, default: f64| -> Result<f64, Response> {
+        match req.param(name) {
+            None => Ok(default),
+            Some(v) => match v.parse::<f64>() {
+                Ok(w) if w.is_finite() && w >= 0.0 => Ok(w),
+                _ => Err(json_error(
+                    status::BAD_REQUEST,
+                    &format!("bad {name} parameter"),
+                )),
+            },
+        }
+    };
+    config.weights.industry = weight("w_industry", config.weights.industry)?;
+    config.weights.size = weight("w_size", config.weights.size)?;
+    config.weights.region = weight("w_region", config.weights.region)?;
+    Ok(config)
 }
 
 fn leads(ctx: &Ctx, req: &Request) -> Response {
@@ -754,8 +832,18 @@ fn leads(ctx: &Ctx, req: &Request) -> Response {
         None => None,
         Some(spec) => match parse_driver(spec) {
             Ok(d) => Some(d),
-            Err(_) => return text(status::BAD_REQUEST, "unknown driver\n"),
+            Err(key) => {
+                return json_error(status::NOT_FOUND, &format!("unknown driver key: {key}"))
+            }
         },
+    };
+    let icp_config = if req.param("icp").is_some() {
+        match parse_icp_config(req) {
+            Ok(c) => Some(c),
+            Err(resp) => return resp,
+        }
+    } else {
+        None
     };
 
     let selected: Vec<EventRef<'_>> = match driver {
@@ -778,7 +866,7 @@ fn leads(ctx: &Ctx, req: &Request) -> Response {
     };
     w.key("total").uint(total as u64).key("leads").begin_array();
     for (i, e) in selected.iter().enumerate() {
-        write_event(&mut w, i + 1, *e);
+        write_event(&mut w, i + 1, *e, icp_config.as_ref());
     }
     w.end_array().end_object();
     json(status::OK, snap.generation, w.finish())
@@ -823,7 +911,7 @@ fn companies(ctx: &Ctx, req: &Request) -> Response {
 fn company_events(ctx: &Ctx, name: &str) -> Response {
     let snap = ctx.cell.load();
     let Some((score, events)) = snap.book.company_events(name) else {
-        return text(status::NOT_FOUND, "unknown company\n");
+        return json_error(status::NOT_FOUND, &format!("unknown company: {name}"));
     };
     let mut w = JsonWriter::new();
     w.begin_object()
@@ -838,7 +926,7 @@ fn company_events(ctx: &Ctx, name: &str) -> Response {
         .key("events")
         .begin_array();
     for (i, e) in events.iter().enumerate() {
-        write_event(&mut w, i + 1, *e);
+        write_event(&mut w, i + 1, *e, None);
     }
     w.end_array().end_object();
     json(status::OK, snap.generation, w.finish())
@@ -856,7 +944,9 @@ fn score(ctx: &Ctx, req: &Request) -> Response {
         None => snap.drivers(),
         Some(spec) => match parse_driver(spec) {
             Ok(d) => vec![d],
-            Err(_) => return text(status::BAD_REQUEST, "unknown driver\n"),
+            Err(key) => {
+                return json_error(status::NOT_FOUND, &format!("unknown driver key: {key}"))
+            }
         },
     };
 
@@ -884,5 +974,81 @@ fn score(ctx: &Ctx, req: &Request) -> Response {
     if !any {
         return text(status::NOT_FOUND, "no trained model for driver\n");
     }
+    json(status::OK, snap.generation, w.finish())
+}
+
+/// `GET /score?company=<name>` — ICP (ideal-customer-profile) lead
+/// scoring: firmographic fit of one company against target industries,
+/// regions, and size band, 0–100 with per-factor explanations. An
+/// optional `driver` parameter adds the company's trigger-event count
+/// for that driver as sales context (unknown keys are 404, like
+/// everywhere else).
+fn icp(ctx: &Ctx, req: &Request) -> Response {
+    let snap = ctx.cell.load();
+    let Some(company) = req.param("company") else {
+        return json_error(status::BAD_REQUEST, "missing company parameter");
+    };
+    let config = match parse_icp_config(req) {
+        Ok(c) => c,
+        Err(resp) => return resp,
+    };
+    let driver = match req.param("driver") {
+        None => None,
+        Some(spec) => match parse_driver(spec) {
+            Ok(d) => Some(d),
+            Err(key) => {
+                return json_error(status::NOT_FOUND, &format!("unknown driver key: {key}"))
+            }
+        },
+    };
+
+    let profile = etap::icp::profile_for(company);
+    let scored = etap::icp::score(company, &config);
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("generation")
+        .uint(snap.generation)
+        .key("company")
+        .string(company)
+        .key("profile")
+        .begin_object()
+        .key("industry")
+        .string(profile.industry)
+        .key("region")
+        .string(profile.region)
+        .key("employees")
+        .uint(u64::from(profile.employees))
+        .end_object()
+        .key("icp_score")
+        .uint(u64::from(scored.total))
+        .key("factors")
+        .begin_array();
+    for f in &scored.factors {
+        w.begin_object()
+            .key("factor")
+            .string(f.factor)
+            .key("value")
+            .string(&f.value)
+            .key("fit")
+            .float(f.fit)
+            .key("weight")
+            .float(f.weight)
+            .key("explanation")
+            .string(&f.explanation)
+            .end_object();
+    }
+    w.end_array();
+    if let Some(d) = driver {
+        let events = snap
+            .book
+            .company_events(company)
+            .map(|(_, events)| events.iter().filter(|e| e.driver() == d).count())
+            .unwrap_or(0);
+        w.key("driver")
+            .string(d.id())
+            .key("driver_events")
+            .uint(events as u64);
+    }
+    w.end_object();
     json(status::OK, snap.generation, w.finish())
 }

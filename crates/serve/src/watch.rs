@@ -78,6 +78,10 @@ pub struct WatchConfig {
     /// Prior-adaptation blend factor in `[0, 1]`; 0 disables the
     /// retrain stage entirely.
     pub prior_blend: f64,
+    /// Drivers the polled synthetic web writes about (default: the
+    /// three built-ins). A daemon serving registered custom drivers
+    /// sets this so fresh batches contain their trigger genres.
+    pub drivers: etap_corpus::DriverSet,
 }
 
 impl Default for WatchConfig {
@@ -92,6 +96,7 @@ impl Default for WatchConfig {
             retry: RetryPolicy::default(),
             degrade_after: 3,
             prior_blend: 0.1,
+            drivers: etap_corpus::DriverSet::default(),
         }
     }
 }
@@ -197,6 +202,7 @@ fn run_cycle(
 
     // poll — fetch this generation's document batch.
     let poll_docs = config.poll_docs;
+    let poll_drivers = config.drivers;
     let batch_seed = poll_batch_seed(config.poll_seed, generation);
     let docs: Arc<Vec<SyntheticDoc>> = {
         let _t = STAGE_POLL.scope();
@@ -206,6 +212,7 @@ fn run_cycle(
                     fault::check_stage("corpus.poll")?;
                     let web = SyntheticWeb::generate(WebConfig {
                         seed: batch_seed,
+                        drivers: poll_drivers,
                         ..WebConfig::with_docs(poll_docs)
                     });
                     Ok(web.docs().to_vec())

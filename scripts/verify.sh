@@ -420,4 +420,76 @@ cargo run -q --release --bin etap-cli -- \
 echo "scale: v1/v2 byte parity, mmap warm start survives kill -9 (generation ${scale_gen})"
 
 echo
+echo "== drivers as data: DRIVERS file -> train -> publish v2 -> crash + thread parity =="
+drv_models=$(mktemp -d)
+drv_store=$(mktemp -d)
+drv_store4=$(mktemp -d)
+drv_cleanup() {
+    rm -rf "$drv_models" "$drv_store" "$drv_store4"
+}
+trap 'cleanup; chaos_cleanup; scale_cleanup; drv_cleanup' EXIT
+
+# The committed driver pack must match what the emitter writes today
+# (checksum trailer included) — the same invariant the integration
+# tests pin, but here against the real binary.
+cargo run -q --release --bin etap-cli -- example-drivers \
+    | cmp -s - drivers/extra.drivers \
+    || { echo "FAIL: drivers/extra.drivers drifted from 'etap-cli example-drivers'" >&2; exit 1; }
+
+# Train the two shipped example drivers purely from the data file — no
+# driver-specific Rust anywhere in this stage.
+cargo run -q --release --bin etap-cli -- \
+    train --out "$drv_models" --docs 900 --drivers drivers/extra.drivers \
+    --driver funding-rounds,executive-hires >/dev/null
+[ -f "$drv_models/funding-rounds.model" ] && [ -f "$drv_models/executive-hires.model" ] \
+    || { echo "FAIL: train --drivers did not write the custom models" >&2; exit 1; }
+
+# Publish as sharded LEADS v2 single-threaded (custom driver codes
+# travel in the book's code table).
+ETAP_THREADS=1 cargo run -q --release --bin etap-cli -- \
+    publish --store "$drv_store" --models "$drv_models" --docs 150 \
+    --drivers drivers/extra.drivers --format v2 --shards 4 >/dev/null
+
+# Warm-start WITHOUT --drivers: the sealed v2 book is self-describing,
+# so the server must resolve the custom keys from the code table alone.
+old_store_dir=$store_dir
+store_dir=$drv_store
+boot_store "$smoke_log"
+drv_leads=$(curl -fsS "$base/leads?driver=funding-rounds&top=50")
+echo "$drv_leads" | grep -q '"driver":"funding-rounds"' \
+    || { echo "FAIL: no funding-rounds leads served from the data-file driver" >&2; exit 1; }
+unknown_code=$(curl -s -o /dev/null -w '%{http_code}' "$base/leads?driver=no-such-driver")
+[ "$unknown_code" = "404" ] \
+    || { echo "FAIL: unknown driver key gave ${unknown_code}, expected 404" >&2; exit 1; }
+
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+boot_store "$smoke_log"
+drv_leads_again=$(curl -fsS "$base/leads?driver=funding-rounds&top=50")
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+[ "$drv_leads" = "$drv_leads_again" ] \
+    || { echo "FAIL: custom-driver /leads differs across kill -9 + warm restart" >&2; exit 1; }
+echo "drivers: funding-rounds /leads byte-identical across kill -9"
+
+# Thread parity: the same publish at ETAP_THREADS=4 must seal a book
+# that serves bit-identical /leads for the custom driver.
+ETAP_THREADS=4 cargo run -q --release --bin etap-cli -- \
+    publish --store "$drv_store4" --models "$drv_models" --docs 150 \
+    --drivers drivers/extra.drivers --format v2 --shards 4 >/dev/null
+store_dir=$drv_store4
+boot_store "$smoke_log"
+drv_leads_4t=$(curl -fsS "$base/leads?driver=funding-rounds&top=50")
+kill -9 "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+store_dir=$old_store_dir
+[ "$drv_leads" = "$drv_leads_4t" ] \
+    || { echo "FAIL: custom-driver /leads differs between ETAP_THREADS=1 and =4" >&2; exit 1; }
+echo "drivers: funding-rounds /leads bit-identical at 1 vs 4 threads"
+
+echo
 echo "OK: verify passed (1t ${d1} docs/s, speedup ${s2}x/${s4}x on ${cores} core(s), shed_rate ${shed_rate}, warm_speedup ${warm_speedup}x)"

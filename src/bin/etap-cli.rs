@@ -37,8 +37,8 @@
 //! Exit codes are classified for supervising shells / unit files:
 //! 1 unclassified, 2 usage, 3 store corruption, 4 transient I/O.
 
-use etap_repro::system::{persist, rank, AliasResolver, EventIdentifier, TrainedDriver};
-use etap_repro::{DriverSpec, Etap, EtapConfig, SalesDriver, SyntheticWeb, WebConfig};
+use etap_repro::system::{driverfile, persist, rank, AliasResolver, EventIdentifier, TrainedDriver};
+use etap_repro::{DriverSet, DriverSpec, Etap, EtapConfig, SalesDriver, SyntheticWeb, WebConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -128,6 +128,7 @@ fn main() -> ExitCode {
         "publish" => cmd_publish(&opts),
         "generations" => cmd_generations(&opts),
         "diff" => cmd_diff(&opts),
+        "example-drivers" => cmd_example_drivers(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -147,20 +148,28 @@ const USAGE: &str = "\
 etap-cli — automatic sales lead generation (ETAP, ICDE 2006 reproduction)
 
 USAGE:
-  etap-cli train --out <dir> [--docs N] [--seed N] [--driver all|ma|cim|rev]
+  etap-cli train --out <dir> [--docs N] [--seed N] [--driver SPEC] [--drivers FILE]
   etap-cli scan --models <dir> [--docs N] [--seed N] [--top K] [--time-weighted]
+                [--drivers FILE]
   etap-cli score --model <file> --text <snippet>
-  etap-cli companies --models <dir> [--docs N] [--seed N] [--top K]
-  etap-cli eval --models <dir> [--docs N] [--seed N]
+  etap-cli companies --models <dir> [--docs N] [--seed N] [--top K] [--drivers FILE]
+  etap-cli eval --models <dir> [--docs N] [--seed N] [--drivers FILE]
   etap-cli serve (--store <dir> | --models <dir>) [--addr HOST:PORT] [--docs N]
-                 [--seed N] [--window N]
+                 [--seed N] [--window N] [--drivers FILE]
   etap-cli watch --store <dir> [--models <dir>] [--addr HOST:PORT] [--docs N]
                  [--seed N] [--interval-ms N] [--cycles N] [--keep N] [--window N]
                  [--blend F] [--stage-timeout-ms N] [--degrade-after N]
+                 [--drivers FILE]
   etap-cli publish --store <dir> [--models <dir>] [--docs N] [--seed N]
-                   [--window N] [--extend] [--keep N]
+                   [--window N] [--extend] [--keep N] [--format v1|v2]
+                   [--shards N] [--drivers FILE]
   etap-cli generations --store <dir>
   etap-cli diff --store <dir> [--from GEN] [--to GEN]
+  etap-cli example-drivers [--out FILE]
+
+--driver SPEC is all, a builtin shortcut (ma|cim|rev), a registered key,
+or a comma-separated mix. --drivers FILE loads custom driver specs from
+a DRIVERS v1 file (see `example-drivers` and README \"Custom drivers\").
 
 exit codes: 0 ok, 1 error, 2 usage, 3 store corruption, 4 transient I/O
 
@@ -211,21 +220,48 @@ impl Opts {
     }
 }
 
-fn parse_drivers(spec: &str) -> Result<Vec<SalesDriver>, CliError> {
-    match spec {
-        "all" => Ok(SalesDriver::ALL.to_vec()),
-        "ma" => Ok(vec![SalesDriver::MergersAcquisitions]),
-        "cim" => Ok(vec![SalesDriver::ChangeInManagement]),
-        "rev" => Ok(vec![SalesDriver::RevenueGrowth]),
-        other => Err(CliError::Usage(format!(
-            "unknown driver {other:?} (use all|ma|cim|rev)"
-        ))),
+/// Load a `DRIVERS v1` file when `--drivers` is given — and do it
+/// before anything else touches the registry, so custom driver ids
+/// intern in file order on every run (the determinism contract behind
+/// artifact byte-identity). Returns the loaded specs (empty without
+/// the flag).
+fn load_driver_file(opts: &Opts) -> Result<Vec<DriverSpec>, CliError> {
+    match opts.get("drivers") {
+        None => Ok(Vec::new()),
+        Some(path) => {
+            let specs = driverfile::load(Path::new(path))
+                .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+            eprintln!("loaded {} custom driver(s) from {path}", specs.len());
+            Ok(specs)
+        }
     }
+}
+
+/// Parse `--driver`: `all` (every registered driver, including ones a
+/// `--drivers` file just loaded), the builtin shortcuts, any registered
+/// key, or a comma-separated mix.
+fn parse_drivers(spec: &str) -> Result<Vec<SalesDriver>, CliError> {
+    if spec == "all" {
+        return Ok(SalesDriver::registered());
+    }
+    spec.split(',')
+        .map(|s| match s.trim() {
+            "ma" => Ok(SalesDriver::MergersAcquisitions),
+            "cim" => Ok(SalesDriver::ChangeInManagement),
+            "rev" => Ok(SalesDriver::RevenueGrowth),
+            other => other.parse::<SalesDriver>().map_err(|_| {
+                CliError::Usage(format!(
+                    "unknown driver {other:?} (use all|ma|cim|rev or a key registered via --drivers)"
+                ))
+            }),
+        })
+        .collect()
 }
 
 fn cmd_train(opts: &Opts) -> Result<(), CliError> {
     let out = PathBuf::from(opts.get("out").ok_or("--out <dir> is required")?);
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let custom = load_driver_file(opts)?;
     let docs = opts.usize_or("docs", 4_000);
     let seed = opts.usize_or("seed", 0xE7A9) as u64;
     let drivers = parse_drivers(opts.get("driver").unwrap_or("all"))?;
@@ -234,10 +270,22 @@ fn cmd_train(opts: &Opts) -> Result<(), CliError> {
     let web = SyntheticWeb::generate(WebConfig {
         total_docs: docs,
         seed,
+        drivers: DriverSet::all_registered(),
         ..WebConfig::default()
     });
     let mut config = EtapConfig::paper();
-    config.drivers = drivers.iter().copied().map(DriverSpec::builtin).collect();
+    // A driver trains from its file spec when one was loaded, and from
+    // the builtin (or fallback) spec otherwise.
+    config.drivers = drivers
+        .iter()
+        .map(|d| {
+            custom
+                .iter()
+                .find(|s| s.driver == *d)
+                .cloned()
+                .unwrap_or_else(|| DriverSpec::builtin(*d))
+        })
+        .collect();
     config.training.negative_snippets = docs * 3 / 2;
     eprintln!("training {} driver(s)…", drivers.len());
     let trained = Etap::new(config).train(&web);
@@ -278,14 +326,19 @@ fn fresh_crawl(opts: &Opts) -> SyntheticWeb {
     let docs = opts.usize_or("docs", 300);
     let seed = opts.usize_or("seed", 7) as u64;
     eprintln!("crawling {docs} fresh documents (seed {seed})…");
+    // All registered drivers (builtins only unless models or a
+    // --drivers file registered more by now) get trigger genres in the
+    // crawl; with no customs this is bit-identical to the default set.
     SyntheticWeb::generate(WebConfig {
         total_docs: docs,
         seed,
+        drivers: DriverSet::all_registered(),
         ..WebConfig::default()
     })
 }
 
 fn cmd_scan(opts: &Opts) -> Result<(), CliError> {
+    load_driver_file(opts)?;
     let models = load_models(Path::new(
         opts.get("models").ok_or("--models <dir> required")?,
     ))?;
@@ -337,6 +390,7 @@ fn cmd_score(opts: &Opts) -> Result<(), CliError> {
 }
 
 fn cmd_companies(opts: &Opts) -> Result<(), CliError> {
+    load_driver_file(opts)?;
     let models = load_models(Path::new(
         opts.get("models").ok_or("--models <dir> required")?,
     ))?;
@@ -357,6 +411,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
     use etap_repro::serve::{GenerationStore, LeadSnapshot, ServeConfig};
     use std::sync::Arc;
 
+    load_driver_file(opts)?;
     let mut config = ServeConfig::from_env();
     if let Some(addr) = opts.get("addr") {
         config.addr = addr.to_string();
@@ -441,6 +496,7 @@ fn cmd_watch(opts: &Opts) -> Result<(), CliError> {
         );
     }
 
+    load_driver_file(opts)?;
     let root = PathBuf::from(opts.get("store").ok_or("--store <dir> required")?);
     let keep = opts.usize_or("keep", 4).max(1);
     let store = GenerationStore::open(&root)
@@ -469,6 +525,7 @@ fn cmd_watch(opts: &Opts) -> Result<(), CliError> {
             let seed = opts.usize_or("seed", 0x011A_7C4) as u64;
             let crawl = SyntheticWeb::generate(WebConfig {
                 seed: watch::poll_batch_seed(seed, 1),
+                drivers: DriverSet::all_registered(),
                 ..WebConfig::with_docs(docs)
             });
             eprintln!("cold start: building generation 1 from {docs} documents…");
@@ -496,6 +553,7 @@ fn cmd_watch(opts: &Opts) -> Result<(), CliError> {
         interval: Duration::from_millis(opts.usize_or("interval-ms", 1_000) as u64),
         poll_docs: opts.usize_or("docs", 80),
         poll_seed: opts.usize_or("seed", 0x011A_7C4) as u64,
+        drivers: DriverSet::all_registered(),
         ..WatchConfig::default()
     };
     if let Some(cycles) = opts.get("cycles") {
@@ -556,6 +614,7 @@ fn cmd_publish(opts: &Opts) -> Result<(), CliError> {
     use etap_repro::serve::LeadSnapshot;
     use std::sync::Arc;
 
+    load_driver_file(opts)?;
     let store = open_store(opts)?;
     // `--format v2` seals the book as sharded binary `LEADS v2`
     // (mmap'd, zero-copy at load); v1 text stays the default.
@@ -699,7 +758,24 @@ fn cmd_diff(opts: &Opts) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Emit the shipped example driver pack (funding rounds + executive
+/// hires) as a checksummed `DRIVERS v1` file — the committed
+/// `drivers/extra.drivers` is machine-written by this command, so its
+/// checksum can never drift from the codec.
+fn cmd_example_drivers(opts: &Opts) -> Result<(), CliError> {
+    let text = driverfile::to_string(&driverfile::example_defs());
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(io_err)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn cmd_eval(opts: &Opts) -> Result<(), CliError> {
+    load_driver_file(opts)?;
     let models = load_models(Path::new(
         opts.get("models").ok_or("--models <dir> required")?,
     ))?;
@@ -709,6 +785,7 @@ fn cmd_eval(opts: &Opts) -> Result<(), CliError> {
     let crawl = SyntheticWeb::generate(WebConfig {
         total_docs: docs,
         seed,
+        drivers: DriverSet::all_registered(),
         ..WebConfig::default()
     });
     let identifier = EventIdentifier::new(3);

@@ -33,6 +33,7 @@ pub use etap_text as text;
 
 // The most common types at the top level for convenience.
 pub use etap::{
-    DriverSpec, Etap, EtapConfig, OrientationLexicon, SalesDriver, TrainedEtap, TriggerEvent,
+    DriverSet, DriverSpec, Etap, EtapConfig, OrientationLexicon, SalesDriver, TrainedEtap,
+    TriggerEvent,
 };
 pub use etap_corpus::{SyntheticWeb, WebConfig};

@@ -307,3 +307,49 @@ proptest! {
         prop_assert!(s.is_finite());
     }
 }
+
+/// Arbitrary NE-filter trees over the full leaf alphabet (categories,
+/// ATLEAST counts, keywords, TRUE) with bounded depth.
+fn arb_filter() -> impl Strategy<Value = etap_repro::system::Filter> {
+    use etap_repro::annotate::EntityCategory;
+    use etap_repro::system::Filter;
+    let cat = proptest::sample::select(EntityCategory::ALL.to_vec());
+    let leaf = prop_oneof![
+        cat.clone().prop_map(Filter::cat),
+        (cat, 1usize..5).prop_map(|(c, n)| Filter::AtLeast(c, n)),
+        "[a-z]{1,10}".prop_map(|w| Filter::kw(&w)),
+        Just(Filter::True),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Filter::negate),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The filter grammar's Display is a parseable fixed point:
+    /// parse(display(f)) == f, and re-rendering is byte-stable.
+    #[test]
+    fn filter_display_parse_round_trips(f in arb_filter()) {
+        use etap_repro::system::Filter;
+        let shown = f.to_string();
+        let reparsed: Filter = shown.parse().expect("display output must parse");
+        prop_assert_eq!(&reparsed, &f, "{}", shown);
+        prop_assert_eq!(reparsed.to_string(), shown);
+    }
+
+    /// The filter parser is total: arbitrary garbage returns a typed
+    /// error with an in-bounds position, never a panic.
+    #[test]
+    fn filter_parser_is_total(garbage in "\\PC{0,120}") {
+        use etap_repro::system::Filter;
+        if let Err(e) = garbage.parse::<Filter>() {
+            prop_assert!(e.pos <= garbage.len());
+        }
+    }
+}

@@ -232,10 +232,90 @@ fn score_endpoint_scores_snippets() {
     assert_eq!(status_of(&off_topic), 200);
     assert!(body_of(&off_topic).contains("\"trigger\":false"));
 
-    // Unknown driver → 400; driver without a model → 404; empty → 400.
-    assert_eq!(status_of(&post(addr, "/score?driver=astrology", "x")), 400);
+    // Unknown driver key → 404 with a JSON error body (clients match on
+    // it programmatically); driver without a model → 404; empty → 400.
+    let unknown = post(addr, "/score?driver=astrology", "x");
+    assert_eq!(status_of(&unknown), 404);
+    assert!(
+        body_of(&unknown).contains("\"error\":\"unknown driver key: astrology\""),
+        "{unknown}"
+    );
     assert_eq!(status_of(&post(addr, "/score?driver=ma", "some text")), 404);
     assert_eq!(status_of(&post(addr, "/score", "   ")), 400);
+
+    server.shutdown();
+}
+
+#[test]
+fn icp_endpoint_scores_companies_with_explanations() {
+    let server = boot_default();
+    let addr = server.addr();
+
+    // Wildcard ICP: everything fits, score 100, three explained factors.
+    let r = get(addr, "/score?company=Acme%20Corp");
+    assert_eq!(status_of(&r), 200);
+    let body = body_of(&r);
+    assert!(body.contains("\"company\":\"Acme Corp\""), "{body}");
+    assert!(body.contains("\"icp_score\":100"), "{body}");
+    for factor in ["industry", "size", "region"] {
+        assert!(body.contains(&format!("\"factor\":\"{factor}\"")), "{body}");
+    }
+    assert!(body.contains("\"explanation\":"), "{body}");
+
+    // Target an industry the company is *not* in: the score drops and
+    // the industry factor explains why.
+    let profile = etap_repro::system::icp::profile_for("Acme Corp");
+    let other = etap_repro::system::icp::INDUSTRIES
+        .iter()
+        .find(|&&i| i != profile.industry)
+        .unwrap();
+    let r = get(addr, &format!("/score?company=Acme%20Corp&industry={other}"));
+    assert_eq!(status_of(&r), 200);
+    let body = body_of(&r);
+    assert!(!body.contains("\"icp_score\":100"), "{body}");
+    assert!(body.contains("not among target industries"), "{body}");
+
+    // Weight parameters are honored (all weight on a passing factor →
+    // back to 100) and bad numerics are 400s.
+    let r = get(
+        addr,
+        &format!("/score?company=Acme%20Corp&industry={other}&w_industry=0&w_size=1&w_region=1"),
+    );
+    assert!(body_of(&r).contains("\"icp_score\":100"), "{r}");
+    assert_eq!(status_of(&get(addr, "/score?company=A&size_min=banana")), 400);
+    assert_eq!(status_of(&get(addr, "/score?company=A&w_size=-1")), 400);
+
+    // A driver parameter adds the company's trigger-event count.
+    let r = get(addr, "/score?company=Acme%20Corp&driver=cim");
+    assert_eq!(status_of(&r), 200);
+    let body = body_of(&r);
+    assert!(body.contains("\"driver\":\"change_in_management\""), "{body}");
+    assert!(body.contains("\"driver_events\":"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn leads_icp_enrichment_is_opt_in() {
+    let server = boot_default();
+    let addr = server.addr();
+
+    // Default /leads carries no ICP fields (byte-stability contract).
+    let plain = body_of(&get(addr, "/leads?top=10")).to_string();
+    assert!(!plain.contains("\"icp\""), "{plain}");
+
+    // icp=1 adds a score per lead for its first extracted company.
+    let enriched = body_of(&get(addr, "/leads?top=10&icp=1")).to_string();
+    assert!(enriched.contains("\"icp\":{\"company\":"), "{enriched}");
+    assert!(enriched.contains("\"score\":100"), "{enriched}");
+
+    // Stripping the enrichment objects recovers the plain body exactly.
+    let mut stripped = enriched.clone();
+    while let Some(at) = stripped.find(",\"icp\":{") {
+        let end = stripped[at..].find('}').unwrap() + at + 1;
+        stripped.replace_range(at..end, "");
+    }
+    assert_eq!(stripped, plain);
 
     server.shutdown();
 }
@@ -266,14 +346,22 @@ fn error_paths() {
         "{metrics}"
     );
     // 405 wrong method.
-    assert_eq!(status_of(&get(addr, "/score")), 405);
     assert_eq!(status_of(&post(addr, "/leads", "x")), 405);
     // 400 malformed request line.
     let garbage = exchange_raw(addr, b"GARBAGE\r\n\r\n");
     assert_eq!(status_of(&garbage), 400);
-    // 400 bad query parameter.
+    // 400 bad query parameter (GET /score is the ICP endpoint and
+    // requires a company).
     assert_eq!(status_of(&get(addr, "/leads?top=banana")), 400);
-    assert_eq!(status_of(&get(addr, "/leads?driver=astrology")), 400);
+    assert_eq!(status_of(&get(addr, "/score")), 400);
+    // 404 unknown driver key, JSON error body.
+    let unknown = get(addr, "/leads?driver=astrology");
+    assert_eq!(status_of(&unknown), 404);
+    assert!(
+        body_of(&unknown).contains("\"error\":\"unknown driver key: astrology\""),
+        "{unknown}"
+    );
+    assert_eq!(status_of(&get(addr, "/score?company=Acme&driver=astrology")), 404);
     // 413 oversized body (declared up front).
     let big = "x".repeat(4096);
     let response = post(addr, "/score", &big);

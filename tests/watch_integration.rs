@@ -77,6 +77,7 @@ fn fast_config(cycles: u64, threads: usize) -> WatchConfig {
         retry: fast_retry(),
         degrade_after: 2,
         prior_blend: 0.1,
+        drivers: etap_repro::DriverSet::default(),
     }
 }
 
